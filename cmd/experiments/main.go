@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig9
+//	experiments -run all -quick
+//	experiments -run fig17 -sms 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment id to run, or 'all'")
+	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
+	sms := flag.Int("sms", 0, "override simulated SM count (chip-slice scaling)")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %-11s %s\n", e.ID, e.Paper, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick, SMs: *sms}
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		tb, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s (%s) — completed in %v\n", e.Paper, e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Println(tb.String())
+	}
+}

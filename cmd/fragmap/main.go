@@ -1,0 +1,102 @@
+// Command fragmap prints the fragment-to-thread mappings the paper's
+// Figure 4 microbenchmark decodes (Figures 7 and 8).
+//
+// Usage:
+//
+//	fragmap -arch volta -op a -layout row
+//	fragmap -arch turing -shape m32n8k16 -op b -elem s8
+//	fragmap -arch volta -op a -lane 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+func main() {
+	arch := flag.String("arch", "volta", "volta or turing")
+	shape := flag.String("shape", "m16n16k16", "tile shape: m16n16k16, m32n8k16, m8n32k16, m8n8k32")
+	op := flag.String("op", "a", "operand: a, b or c")
+	layout := flag.String("layout", "row", "row or col")
+	elem := flag.String("elem", "", "element type (default f16; c defaults to f32)")
+	lane := flag.Int("lane", -1, "print one lane's fragment instead of the ownership grid")
+	flag.Parse()
+
+	a := wmma.Volta
+	if *arch == "turing" {
+		a = wmma.Turing
+	}
+	var sh wmma.Shape
+	switch *shape {
+	case "m16n16k16":
+		sh = wmma.M16N16K16
+	case "m32n8k16":
+		sh = wmma.M32N8K16
+	case "m8n32k16":
+		sh = wmma.M8N32K16
+	case "m8n8k32":
+		sh = wmma.M8N8K32
+	default:
+		fatal("unknown shape %q", *shape)
+	}
+	var o wmma.Operand
+	switch *op {
+	case "a":
+		o = wmma.MatrixA
+	case "b":
+		o = wmma.MatrixB
+	case "c":
+		o = wmma.MatrixC
+	default:
+		fatal("unknown operand %q", *op)
+	}
+	lay := tensor.RowMajor
+	if *layout == "col" {
+		lay = tensor.ColMajor
+	}
+	e := wmma.F16
+	if o == wmma.MatrixC {
+		e = wmma.F32
+	}
+	switch *elem {
+	case "":
+	case "f16":
+		e = wmma.F16
+	case "f32":
+		e = wmma.F32
+	case "s8":
+		e = wmma.S8
+	case "u8":
+		e = wmma.U8
+	case "s4":
+		e = wmma.S4
+	case "s32":
+		e = wmma.S32
+	default:
+		fatal("unknown element type %q", *elem)
+	}
+
+	m, err := wmma.Map(a, sh, o, lay, e)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *lane >= 0 {
+		if *lane > 31 {
+			fatal("lane must be 0..31")
+		}
+		fmt.Println(m.RenderLane(*lane))
+		return
+	}
+	fmt.Print(m.RenderOwnership())
+	fmt.Printf("fragment: %d elements/lane; SASS loads/lane: %d\n",
+		m.FragmentLen(), m.LoadInstructionCount(16))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,149 @@
+// Command tcsim runs one GEMM kernel on the simulated GPU and prints its
+// timing statistics — the front door to the cycle-level model.
+//
+// Usage:
+//
+//	tcsim -kernel wmma -m 256 -n 256 -k 256
+//	tcsim -kernel cutlass -m 512 -n 512 -k 512 -policy b64x64_w32x32
+//	tcsim -kernel sgemm -m 256 -n 256 -k 256 -sms 16 -scheduler lrr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cuda"
+	"repro/internal/cutlass"
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+func main() {
+	kernel := flag.String("kernel", "wmma", "wmma | wmma-naive | sgemm | hgemm | cutlass | maxperf")
+	m := flag.Int("m", 256, "rows of A and D")
+	n := flag.Int("n", 256, "columns of B and D")
+	k := flag.Int("k", 256, "inner dimension")
+	sms := flag.Int("sms", 0, "simulated SM count (default: full 80)")
+	scheduler := flag.String("scheduler", "gto", "warp scheduler: gto | lrr")
+	policy := flag.String("policy", "b64x64_w32x32", "cutlass tile policy")
+	fp16acc := flag.Bool("fp16acc", false, "accumulate in FP16 instead of FP32")
+	verify := flag.Bool("verify", true, "check the result against the float64 reference")
+	flag.Parse()
+
+	cfg := gpu.TitanV()
+	if *sms > 0 {
+		cfg.NumSMs = *sms
+	}
+	if *scheduler == "lrr" {
+		cfg.Scheduler = gpu.LRR
+	}
+
+	prec := kernels.TensorMixed
+	cd := wmma.F32
+	if *fp16acc {
+		prec, cd = kernels.TensorFP16, wmma.F16
+	}
+
+	var (
+		l   *kernels.Launch
+		err error
+		ab  = wmma.F16
+	)
+	switch *kernel {
+	case "wmma":
+		l, err = kernels.WMMAGemmShared(prec, *m, *n, *k)
+	case "wmma-naive":
+		l, err = kernels.WMMAGemmNaive(prec, *m, *n, *k)
+	case "sgemm":
+		l, err = kernels.SGEMMSimt(*m, *n, *k)
+		ab, cd = wmma.F32, wmma.F32
+	case "hgemm":
+		l, err = kernels.HGEMMSimt(*m, *n, *k)
+		cd = wmma.F16
+	case "cutlass":
+		var pol cutlass.TilePolicy
+		pol, err = findPolicy(*policy)
+		if err == nil {
+			l, err = cutlass.Build(cutlass.GemmConfig{Policy: pol, Precision: prec, M: *m, N: *n, K: *k})
+		}
+	case "maxperf":
+		l, err = kernels.MaxPerf(prec, 2*cfg.NumSMs, 4, 100)
+	default:
+		err = fmt.Errorf("unknown kernel %q", *kernel)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	dev := cuda.MustNewDevice(cfg)
+	var args []uint64
+	var want *tensor.Matrix
+	if *kernel == "maxperf" {
+		args = []uint64{dev.Mem.Malloc(2048)}
+		*verify = false
+	} else {
+		a := tensor.New(*m, *k, tensor.RowMajor)
+		b := tensor.New(*k, *n, tensor.RowMajor)
+		c := tensor.New(*m, *n, tensor.RowMajor)
+		fill(a, 1)
+		fill(b, 2)
+		fill(c, 3)
+		args = []uint64{
+			dev.UploadMatrix(a, ab),
+			dev.UploadMatrix(b, ab),
+			dev.UploadMatrix(c, cd),
+			dev.MallocMatrix(*m, *n, cd),
+		}
+		if *verify {
+			want = tensor.Gemm(a, b, c, tensor.RowMajor)
+		}
+	}
+
+	st, err := dev.Launch(l.Kernel, l.Grid, l.Block, args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("kernel      : %s\n", l.Kernel.Name)
+	fmt.Printf("gpu         : %s (%d SMs, %s scheduler)\n", cfg.Name, cfg.NumSMs, cfg.Scheduler)
+	fmt.Printf("grid x block: %v x %v (%d CTAs)\n", l.Grid, l.Block, st.CTAsTotal)
+	fmt.Printf("cycles      : %d (%.3f ms at %.0f MHz)\n", st.Cycles, st.Seconds(cfg)*1e3, cfg.ClockMHz)
+	fmt.Printf("instructions: %d warp (%d thread), IPC %.2f\n",
+		st.WarpInstructions, st.ThreadInstructions, st.IPC())
+	fmt.Printf("tensor ops  : %d wmma.mma\n", st.TensorOps)
+	fmt.Printf("L1 hit rate : %.1f%%   L2 hit rate: %.1f%%   DRAM accesses: %d\n",
+		100*st.L1HitRate, 100*st.L2HitRate, st.DRAMAccesses)
+	if l.FLOPs > 0 {
+		fmt.Printf("throughput  : %.2f TFLOPS\n", l.FLOPs/st.Seconds(cfg)/1e12)
+	}
+	if *verify && want != nil {
+		got := dev.ReadMatrix(args[3], *m, *n, tensor.RowMajor, cd)
+		fmt.Printf("max |error| : %g vs float64 reference\n", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func findPolicy(name string) (cutlass.TilePolicy, error) {
+	for _, p := range cutlass.DefaultPolicies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	var names []string
+	for _, p := range cutlass.DefaultPolicies() {
+		names = append(names, p.String())
+	}
+	return cutlass.TilePolicy{}, fmt.Errorf("unknown policy %q (have %v)", name, names)
+}
+
+func fill(m *tensor.Matrix, seed int) {
+	s := seed
+	m.FillFunc(func(int, int) float64 {
+		s = (s*1103515245 + 12345) & 0x7fffffff
+		return float64(s%16-8) / 8
+	})
+}

@@ -1,0 +1,38 @@
+// cutlass_gemm sweeps the CUTLASS-style tile policies over one problem
+// size on the simulated GPU — the workload family behind the paper's
+// Figure 14b IPC-correlation experiment — and prints the policy
+// comparison a kernel author would use to pick a tiling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tcgpu "repro"
+)
+
+func main() {
+	const m, n, k = 256, 256, 256
+	cfg := tcgpu.TitanVConfig()
+	cfg.NumSMs = 8
+	fmt.Printf("CUTLASS-style GEMM %d×%d×%d on %d simulated SMs\n\n", m, n, k, cfg.NumSMs)
+	fmt.Printf("%-16s %10s %8s %8s %12s\n", "policy", "cycles", "IPC", "TFLOPS", "max|err|")
+	for _, pol := range tcgpu.DefaultTilePolicies() {
+		if m%pol.BlockM != 0 || n%pol.BlockN != 0 {
+			continue
+		}
+		dev, err := tcgpu.NewDevice(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tcgpu.RunCutlassGEMM(dev, pol, m, n, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %10d %8.2f %8.2f %12g\n",
+			pol.String(), res.Stats.Cycles, res.Stats.IPC(), res.TFLOPS, res.MaxAbsError)
+	}
+	fmt.Println("\nat this small size the smaller block tiles win: they launch more CTAs")
+	fmt.Println("and keep all SMs busy. Large tiles amortize staging traffic and pull")
+	fmt.Println("ahead once the grid has enough blocks per SM (see fig17).")
+}

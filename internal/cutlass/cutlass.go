@@ -1,0 +1,367 @@
+// Package cutlass is a CUTLASS-style tiled GEMM generator: the Go analog
+// of NVIDIA's CUDA C++ template library whose kernels the paper enabled
+// on GPGPU-Sim (Section V-B). A TilePolicy plays the role of CUTLASS's
+// threadblock/warp tile template parameters; Build instantiates a kernel
+// for one policy, precision and problem size, staging operand panels
+// through shared memory and computing each warp's tile grid as an outer
+// product of wmma fragments — the same structure as CUTLASS's
+// block_task.
+package cutlass
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/ptx"
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+// TilePolicy is the tiling configuration of a CUTLASS-style GEMM.
+type TilePolicy struct {
+	// BlockM×BlockN is the output tile one thread block computes.
+	BlockM, BlockN int
+	// WarpM×WarpN is the output tile one warp computes; must divide the
+	// block tile and be a multiple of the 16×16 wmma tile.
+	WarpM, WarpN int
+	// DoubleBuffer enables software pipelining: operand panels are staged
+	// into alternating shared buffers so the next K step's global loads
+	// overlap the current step's tensor work, and each step needs one
+	// barrier instead of two — the optimization the paper credits for
+	// cuBLAS outperforming plain WMMA kernels (Section V-C).
+	DoubleBuffer bool
+}
+
+// Warps returns the number of warps per thread block.
+func (p TilePolicy) Warps() int { return (p.BlockM / p.WarpM) * (p.BlockN / p.WarpN) }
+
+func (p TilePolicy) String() string {
+	s := fmt.Sprintf("b%dx%d_w%dx%d", p.BlockM, p.BlockN, p.WarpM, p.WarpN)
+	if p.DoubleBuffer {
+		s += "_db"
+	}
+	return s
+}
+
+// Validate rejects inconsistent policies.
+func (p TilePolicy) Validate() error {
+	switch {
+	case p.WarpM%16 != 0 || p.WarpN%16 != 0:
+		return fmt.Errorf("cutlass: warp tile %dx%d not a multiple of 16", p.WarpM, p.WarpN)
+	case p.BlockM%p.WarpM != 0 || p.BlockN%p.WarpN != 0:
+		return fmt.Errorf("cutlass: block tile %dx%d not divisible by warp tile %dx%d",
+			p.BlockM, p.BlockN, p.WarpM, p.WarpN)
+	case p.Warps() > 32:
+		return fmt.Errorf("cutlass: %d warps per block exceeds 32", p.Warps())
+	}
+	threads := p.Warps() * 32
+	for _, elems := range []int{p.BlockM * 16, 16 * p.BlockN} {
+		per := elems / threads
+		if per*threads != elems || (per != 2 && per != 4 && per != 8) {
+			return fmt.Errorf("cutlass: policy %v stages %d elements per thread; need 2, 4 or 8", p, per)
+		}
+	}
+	return nil
+}
+
+// DefaultPolicies are the tile shapes exercised by the test suite and the
+// Figure 14b/14c sweeps, mirroring CUTLASS's standard configurations.
+func DefaultPolicies() []TilePolicy {
+	return []TilePolicy{
+		{BlockM: 32, BlockN: 32, WarpM: 16, WarpN: 16},
+		{BlockM: 64, BlockN: 64, WarpM: 32, WarpN: 32},
+		{BlockM: 64, BlockN: 32, WarpM: 32, WarpN: 16},
+		{BlockM: 128, BlockN: 64, WarpM: 32, WarpN: 32},
+	}
+}
+
+// GemmConfig is one kernel instantiation.
+type GemmConfig struct {
+	Policy    TilePolicy
+	Precision kernels.GemmPrecision // TensorMixed or TensorFP16
+	M, N, K   int
+}
+
+func (c GemmConfig) String() string {
+	return fmt.Sprintf("cutlass_%v_%v_%dx%dx%d", c.Policy, c.Precision, c.M, c.N, c.K)
+}
+
+// Validate checks the configuration against the policy and problem size.
+func (c GemmConfig) Validate() error {
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if c.Precision != kernels.TensorMixed && c.Precision != kernels.TensorFP16 {
+		return fmt.Errorf("cutlass: tensor-core precisions only, got %v", c.Precision)
+	}
+	if c.M%c.Policy.BlockM != 0 || c.N%c.Policy.BlockN != 0 || c.K%16 != 0 {
+		return fmt.Errorf("cutlass: %dx%dx%d not divisible by block tile %dx%d (K by 16)",
+			c.M, c.N, c.K, c.Policy.BlockM, c.Policy.BlockN)
+	}
+	return nil
+}
+
+// Build instantiates the kernel for a configuration. Matrices are
+// row-major: A is M×K fp16, B is K×N fp16, C and D are M×N in the
+// accumulator precision. Args: a, b, c, d.
+func Build(c GemmConfig) (*kernels.Launch, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	p := c.Policy
+	wcfg := wmma.Config{
+		Arch: wmma.Volta, Shape: wmma.M16N16K16,
+		ALayout: tensor.RowMajor, BLayout: tensor.RowMajor,
+		AType: wmma.F16, CType: wmma.F32, DType: wmma.F32,
+	}
+	cb := uint64(4)
+	if c.Precision == kernels.TensorFP16 {
+		wcfg.CType, wcfg.DType = wmma.F16, wmma.F16
+		cb = 2
+	}
+	warpsM := p.BlockM / p.WarpM
+	tilesM := p.WarpM / 16
+	tilesN := p.WarpN / 16
+	threads := p.Warps() * 32
+
+	b := ptx.NewBuilder(c.String())
+	pa := b.Param("a", ptx.U64)
+	pb := b.Param("b", ptx.U64)
+	pc := b.Param("c", ptx.U64)
+	pd := b.Param("d", ptx.U64)
+
+	sizeA := p.BlockM * 16 * 2
+	sizeB := 16 * p.BlockN * 2
+	bufs := 1
+	if p.DoubleBuffer {
+		bufs = 2
+	}
+	smemA := b.Shared(bufs * sizeA)
+	smemB := b.Shared(bufs * sizeB)
+
+	rowBase, colBase := b.Reg(), b.Reg()
+	b.Mul(ptx.U32, rowBase, ptx.SR(ptx.SRegCtaIDY), ptx.Imm(uint64(p.BlockM)))
+	b.Mul(ptx.U32, colBase, ptx.SR(ptx.SRegCtaIDX), ptx.Imm(uint64(p.BlockN)))
+
+	// Warp position within the block's warp grid (column-major warp id,
+	// like CUTLASS): wRow = wid % warpsM, wCol = wid / warpsM.
+	wid, wRow, wCol := b.Reg(), b.Reg(), b.Reg()
+	b.Mov(ptx.U32, wid, ptx.SR(ptx.SRegWarpID))
+	b.Rem(ptx.U32, wRow, ptx.R(wid), ptx.Imm(uint64(warpsM)))
+	b.Div(ptx.U32, wCol, ptx.R(wid), ptx.Imm(uint64(warpsM)))
+
+	// Load the warp's accumulator tile grid from C.
+	warpRow, warpCol := b.Reg(), b.Reg()
+	b.Mad(ptx.U32, warpRow, ptx.R(wRow), ptx.Imm(uint64(p.WarpM)), ptx.R(rowBase))
+	b.Mad(ptx.U32, warpCol, ptx.R(wCol), ptx.Imm(uint64(p.WarpN)), ptx.R(colBase))
+
+	accs := make([][]ptx.Reg, tilesM*tilesN)
+	cOffs := make([]ptx.Reg, tilesM*tilesN)
+	tmp, addr := b.Reg(), b.Reg()
+	for tr := 0; tr < tilesM; tr++ {
+		for tc := 0; tc < tilesN; tc++ {
+			i := tr*tilesN + tc
+			cOffs[i] = b.Reg()
+			b.Add(ptx.U32, tmp, ptx.R(warpRow), ptx.Imm(uint64(16*tr)))
+			b.Mul(ptx.U32, tmp, ptx.R(tmp), ptx.Imm(uint64(c.N)))
+			b.Add(ptx.U32, tmp, ptx.R(tmp), ptx.R(warpCol))
+			b.Add(ptx.U32, cOffs[i], ptx.R(tmp), ptx.Imm(uint64(16*tc)))
+			b.MulWide(addr, ptx.R(cOffs[i]), ptx.Imm(cb))
+			b.Add(ptx.U64, addr, ptx.R(addr), ptx.R(pc))
+			accs[i] = b.WmmaLoad(wcfg.Arch, wcfg.Shape, wmma.MatrixC, tensor.RowMajor, wcfg.CType, ptx.R(addr), ptx.Imm(uint64(c.N)))
+		}
+	}
+
+	// Staging: thread t moves perA halves of A and perB halves of B.
+	perA := p.BlockM * 16 / threads
+	perB := 16 * p.BlockN / threads
+	tid := b.Reg()
+	b.Mov(ptx.U32, tid, ptx.SR(ptx.SRegTidX))
+
+	buildCopy := func(per, rowLen int, gBase ptx.Reg, gStride int, rowOff, colOff ptx.Reg, smem uint64) (gcur, sdst ptx.Reg) {
+		elem := b.Reg()
+		b.Mul(ptx.U32, elem, ptx.R(tid), ptx.Imm(uint64(per)))
+		row, col := b.Reg(), b.Reg()
+		b.Div(ptx.U32, row, ptx.R(elem), ptx.Imm(uint64(rowLen)))
+		b.Rem(ptx.U32, col, ptx.R(elem), ptx.Imm(uint64(rowLen)))
+		t := b.Reg()
+		if rowOff != (ptx.Reg{}) {
+			b.Add(ptx.U32, row, ptx.R(row), ptx.R(rowOff))
+		}
+		b.Mul(ptx.U32, t, ptx.R(row), ptx.Imm(uint64(gStride)))
+		b.Add(ptx.U32, t, ptx.R(t), ptx.R(col))
+		if colOff != (ptx.Reg{}) {
+			b.Add(ptx.U32, t, ptx.R(t), ptx.R(colOff))
+		}
+		gcur = b.Reg()
+		b.MulWide(gcur, ptx.R(t), ptx.Imm(2))
+		b.Add(ptx.U64, gcur, ptx.R(gcur), ptx.R(gBase))
+		sdst = b.Reg()
+		b.MulWide(sdst, ptx.R(elem), ptx.Imm(2))
+		b.Add(ptx.U64, sdst, ptx.R(sdst), ptx.Imm(smem))
+		return gcur, sdst
+	}
+	// A panel rows offset by rowBase; B panel columns offset by colBase.
+	aCur, aDst := buildCopy(perA, 16, pa, c.K, rowBase, ptx.Reg{}, smemA)
+	bCur, bDst := buildCopy(perB, p.BlockN, pb, c.N, ptx.Reg{}, colBase, smemB)
+
+	copyRegsA, copyRegsB := b.Regs(4), b.Regs(4)
+	emitLoad := func(per int, gcur ptx.Reg, regs []ptx.Reg, guard *ptx.Reg) []ptx.Reg {
+		width := per * 16
+		regs = regs[:width/32]
+		if guard != nil {
+			b.At(*guard, false)
+		}
+		b.Ld(ptx.Global, width, regs, ptx.R(gcur))
+		return regs
+	}
+	emitStore := func(per int, sdst ptx.Reg, regs []ptx.Reg, guard *ptx.Reg) {
+		width := per * 16
+		ops := make([]ptx.Operand, len(regs))
+		for i, r := range regs {
+			ops[i] = ptx.R(r)
+		}
+		if guard != nil {
+			b.At(*guard, false)
+		}
+		b.St(ptx.Shared, width, ptx.R(sdst), ops)
+	}
+	emitCopy := func(per int, gcur, sdst ptx.Reg, regs []ptx.Reg, guard *ptx.Reg) {
+		emitStore(per, sdst, emitLoad(per, gcur, regs, guard), guard)
+	}
+
+	// Warp fragment offsets within a buffer.
+	warpOffA, warpOffB := b.Reg(), b.Reg()
+	b.MulWide(warpOffA, ptx.R(wRow), ptx.Imm(uint64(p.WarpM*16*2)))
+	b.MulWide(warpOffB, ptx.R(wCol), ptx.Imm(uint64(p.WarpN*2)))
+
+	// Compute-side buffer bases (swapped with the staging side when
+	// double buffering).
+	saComp, sbComp := b.Reg(), b.Reg()
+	b.Mov(ptx.U64, saComp, ptx.Imm(smemA))
+	b.Mov(ptx.U64, sbComp, ptx.Imm(smemB))
+
+	advance := func() {
+		b.Add(ptx.U64, aCur, ptx.R(aCur), ptx.Imm(16*2))
+		b.Add(ptx.U64, bCur, ptx.R(bCur), ptx.Imm(uint64(16*c.N*2)))
+	}
+	compute := func() {
+		fas := make([][]ptx.Reg, tilesM)
+		for tr := range fas {
+			b.Add(ptx.U64, addr, ptx.R(saComp), ptx.R(warpOffA))
+			b.Add(ptx.U64, addr, ptx.R(addr), ptx.Imm(uint64(tr*16*16*2)))
+			fas[tr] = b.WmmaLoad(wcfg.Arch, wcfg.Shape, wmma.MatrixA, tensor.RowMajor, wcfg.AType, ptx.R(addr), ptx.Imm(16))
+		}
+		fbs := make([][]ptx.Reg, tilesN)
+		for tc := range fbs {
+			b.Add(ptx.U64, addr, ptx.R(sbComp), ptx.R(warpOffB))
+			b.Add(ptx.U64, addr, ptx.R(addr), ptx.Imm(uint64(tc*16*2)))
+			fbs[tc] = b.WmmaLoad(wcfg.Arch, wcfg.Shape, wmma.MatrixB, tensor.RowMajor, wcfg.AType, ptx.R(addr), ptx.Imm(uint64(p.BlockN)))
+		}
+		for tr := 0; tr < tilesM; tr++ {
+			for tc := 0; tc < tilesN; tc++ {
+				idx := tr*tilesN + tc
+				accs[idx] = b.WmmaMMA(wcfg, fas[tr], fbs[tc], accs[idx])
+			}
+		}
+	}
+
+	i, pr := b.Reg(), b.Reg()
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	if !p.DoubleBuffer {
+		b.Label("ktop")
+		emitCopy(perA, aCur, aDst, copyRegsA, nil)
+		emitCopy(perB, bCur, bDst, copyRegsB, nil)
+		b.Bar()
+		compute()
+		b.Bar()
+		advance()
+		b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+		b.Setp(ptx.U32, ptx.CmpLT, pr, ptx.R(i), ptx.Imm(uint64(c.K/16)))
+		b.BraIf(pr, false, "ktop")
+	} else {
+		// Software pipelining: the prologue stages panel 0; each
+		// iteration then issues panel i+1's global loads, computes panel
+		// i while those loads are in flight, and only afterwards commits
+		// the loaded data into the spare buffer — one barrier per step
+		// and the global-load latency hidden behind the tensor work.
+		aStage, bStage := b.Reg(), b.Reg() // staging-side st.shared bases
+		b.Mov(ptx.U64, aStage, ptx.R(aDst))
+		b.Mov(ptx.U64, bStage, ptx.R(bDst))
+		emitCopy(perA, aCur, aStage, copyRegsA, nil)
+		emitCopy(perB, bCur, bStage, copyRegsB, nil)
+		advance()
+		b.Add(ptx.U64, aStage, ptx.R(aStage), ptx.Imm(uint64(sizeA)))
+		b.Add(ptx.U64, bStage, ptx.R(bStage), ptx.Imm(uint64(sizeB)))
+		b.Bar()
+
+		saStage, sbStage := b.Reg(), b.Reg() // compute-side alternates
+		b.Add(ptx.U64, saStage, ptx.R(saComp), ptx.Imm(uint64(sizeA)))
+		b.Add(ptx.U64, sbStage, ptx.R(sbComp), ptx.Imm(uint64(sizeB)))
+		last, tmpSwap := b.Reg(), b.Reg()
+
+		b.Label("ktop")
+		b.Setp(ptx.U32, ptx.CmpLT, last, ptx.R(i), ptx.Imm(uint64(c.K/16-1)))
+		ra := emitLoad(perA, aCur, copyRegsA, &last)
+		rb := emitLoad(perB, bCur, copyRegsB, &last)
+		compute()
+		emitStore(perA, aStage, ra, &last)
+		emitStore(perB, bStage, rb, &last)
+		b.Bar()
+		// Swap staging and compute buffers.
+		for _, pair := range [][2]ptx.Reg{{saComp, saStage}, {sbComp, sbStage}, {aStage, aDst}, {bStage, bDst}} {
+			b.Mov(ptx.U64, tmpSwap, ptx.R(pair[0]))
+			b.Mov(ptx.U64, pair[0], ptx.R(pair[1]))
+			b.Mov(ptx.U64, pair[1], ptx.R(tmpSwap))
+		}
+		advance()
+		b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+		b.Setp(ptx.U32, ptx.CmpLT, pr, ptx.R(i), ptx.Imm(uint64(c.K/16)))
+		b.BraIf(pr, false, "ktop")
+	}
+
+	// Epilogue: store every accumulator tile.
+	for idx, acc := range accs {
+		b.MulWide(addr, ptx.R(cOffs[idx]), ptx.Imm(cb))
+		b.Add(ptx.U64, addr, ptx.R(addr), ptx.R(pd))
+		b.WmmaStore(wcfg.Arch, wcfg.Shape, tensor.RowMajor, wcfg.DType, ptx.R(addr), acc, ptx.Imm(uint64(c.N)))
+	}
+	b.Exit()
+
+	kern, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &kernels.Launch{
+		Kernel:   kern,
+		Grid:     ptx.D2(c.N/p.BlockN, c.M/p.BlockM),
+		Block:    ptx.D1(threads),
+		ArgNames: []string{"a", "b", "c", "d"},
+		FLOPs:    2 * float64(c.M) * float64(c.N) * float64(c.K),
+	}, nil
+}
+
+// TestSuite enumerates the configuration matrix the package's tests run —
+// the analog of the ~680-case CUTLASS unit-test suite the paper verified
+// on GPGPU-Sim. Policies × precisions × problem sizes, all functional.
+func TestSuite() []GemmConfig {
+	var out []GemmConfig
+	for _, pol := range DefaultPolicies() {
+		for _, prec := range []kernels.GemmPrecision{kernels.TensorMixed, kernels.TensorFP16} {
+			for _, mMul := range []int{1, 2, 3} {
+				for _, nMul := range []int{1, 2} {
+					for _, k := range []int{16, 32, 48} {
+						out = append(out, GemmConfig{
+							Policy:    pol,
+							Precision: prec,
+							M:         pol.BlockM * mMul,
+							N:         pol.BlockN * nMul,
+							K:         k,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

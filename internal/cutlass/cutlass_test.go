@@ -1,0 +1,137 @@
+package cutlass
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+func TestPolicyValidation(t *testing.T) {
+	for _, p := range DefaultPolicies() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("default policy %v invalid: %v", p, err)
+		}
+	}
+	bad := []TilePolicy{
+		{BlockM: 60, BlockN: 64, WarpM: 30, WarpN: 32}, // warp tile not ×16
+		{BlockM: 64, BlockN: 64, WarpM: 48, WarpN: 32}, // block not divisible
+		{BlockM: 512, BlockN: 512, WarpM: 16, WarpN: 16},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %v should be invalid", p)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	pol := DefaultPolicies()[1]
+	c := GemmConfig{Policy: pol, Precision: kernels.TensorMixed, M: 65, N: 64, K: 16}
+	if err := c.Validate(); err == nil {
+		t.Error("M not divisible by block tile should fail")
+	}
+	c = GemmConfig{Policy: pol, Precision: kernels.SimtFP32, M: 64, N: 64, K: 16}
+	if err := c.Validate(); err == nil {
+		t.Error("SIMT precision should fail")
+	}
+}
+
+// runConfig executes one configuration functionally and compares against
+// the float64 reference.
+func runConfig(t *testing.T, c GemmConfig, dev *cuda.Device, rng *rand.Rand) {
+	t.Helper()
+	l, err := Build(c)
+	if err != nil {
+		t.Fatalf("%v: %v", c, err)
+	}
+	a := tensor.New(c.M, c.K, tensor.RowMajor)
+	bm := tensor.New(c.K, c.N, tensor.RowMajor)
+	cm := tensor.New(c.M, c.N, tensor.RowMajor)
+	a.FillRandomFP16(rng)
+	bm.FillRandomFP16(rng)
+	cm.FillRandomFP16(rng)
+
+	cd := wmma.F32
+	tol := 1e-3
+	if c.Precision == kernels.TensorFP16 {
+		cd = wmma.F16
+		tol = float64(c.K) * 0.03
+	}
+	da := dev.UploadMatrix(a, wmma.F16)
+	db := dev.UploadMatrix(bm, wmma.F16)
+	dc := dev.UploadMatrix(cm, cd)
+	dd := dev.MallocMatrix(c.M, c.N, cd)
+	if err := dev.RunFunctional(l.Kernel, l.Grid, l.Block, da, db, dc, dd); err != nil {
+		t.Fatalf("%v: %v", c, err)
+	}
+	got := dev.ReadMatrix(dd, c.M, c.N, tensor.RowMajor, cd)
+	want := tensor.Gemm(a, bm, cm, tensor.RowMajor)
+	if d := tensor.MaxAbsDiff(got, want); d > tol {
+		t.Errorf("%v: max abs diff %g > %g", c, d, tol)
+	}
+}
+
+// TestSuiteFunctional is the repository's analog of the ~680-case CUTLASS
+// unit-test suite: every policy × precision × size combination must
+// produce correct results through the full load→stage→mma→store path.
+func TestSuiteFunctional(t *testing.T) {
+	suite := TestSuite()
+	if len(suite) < 100 {
+		t.Fatalf("test suite has only %d cases", len(suite))
+	}
+	cfg := gpu.TitanV()
+	cfg.NumSMs = 1
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range suite {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			dev := cuda.MustNewDevice(cfg)
+			runConfig(t, c, dev, rng)
+		})
+	}
+}
+
+// A CUTLASS kernel must also run to completion, correctly, on the timing
+// simulator (this is what Figure 14b measures).
+func TestCutlassUnderTimingSimulator(t *testing.T) {
+	c := GemmConfig{Policy: DefaultPolicies()[1], Precision: kernels.TensorMixed, M: 128, N: 128, K: 64}
+	l, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gpu.TitanV()
+	cfg.NumSMs = 4
+	dev := cuda.MustNewDevice(cfg)
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.New(c.M, c.K, tensor.RowMajor)
+	bm := tensor.New(c.K, c.N, tensor.RowMajor)
+	cm := tensor.New(c.M, c.N, tensor.RowMajor)
+	a.FillRandomFP16(rng)
+	bm.FillRandomFP16(rng)
+	cm.FillRandomFP16(rng)
+	da := dev.UploadMatrix(a, wmma.F16)
+	db := dev.UploadMatrix(bm, wmma.F16)
+	dc := dev.UploadMatrix(cm, wmma.F32)
+	dd := dev.MallocMatrix(c.M, c.N, wmma.F32)
+	st, err := dev.Launch(l.Kernel, l.Grid, l.Block, da, db, dc, dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dev.ReadMatrix(dd, c.M, c.N, tensor.RowMajor, wmma.F32)
+	want := tensor.Gemm(a, bm, cm, tensor.RowMajor)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Errorf("timed cutlass diverged: %g", d)
+	}
+	if st.TensorOps == 0 || st.Cycles == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	wantMMAs := uint64(c.M / 16 * c.N / 16 * c.K / 16)
+	if st.TensorOps != wantMMAs {
+		t.Errorf("tensor ops %d, want %d", st.TensorOps, wantMMAs)
+	}
+}

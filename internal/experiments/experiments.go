@@ -1,0 +1,242 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment produces a Table whose rows are the same
+// series the paper plots; EXPERIMENTS.md records the paper-vs-measured
+// comparison for each. cmd/experiments runs them from the command line
+// and bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/ptx"
+	"repro/internal/wmma"
+)
+
+// Options tunes experiment cost.
+type Options struct {
+	// Quick shrinks problem sizes and sweep points so the experiment
+	// finishes in seconds — used by tests and benchmarks. The full
+	// configuration reproduces the paper's sweep ranges.
+	Quick bool
+	// SMs overrides the number of simulated SMs for the chip-slice
+	// scaling substitution (0 = experiment default). DRAM and L2
+	// bandwidth scale proportionally so per-SM behaviour is preserved.
+	SMs int
+}
+
+// Table is one regenerated artifact.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a summary line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	line(dashes(widths))
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// Experiment is one registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Paper string // the artifact in the paper, e.g. "Figure 9"
+	Title string
+	Run   func(Options) (*Table, error)
+}
+
+// All returns the registry in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig7", "Figure 7", "Volta fragment-to-thread mappings", Fig7},
+		{"fig8", "Figure 8", "Turing fragment-to-thread mappings", Fig8},
+		{"fig9", "Figure 9", "Volta HMMA cumulative clock cycles", Fig9},
+		{"tab1", "Table I", "Turing cumulative cycles per HMMA set", TableI},
+		{"tab2", "Table II", "Octet composition and accessed elements", TableII},
+		{"tab3", "Table III", "Octet outer-product computation by set and step", TableIII},
+		{"fig10", "Figure 10", "Volta per-set/per-step sub-tile extents", Fig10},
+		{"fig11", "Figure 11", "Turing per-set sub-tile extents", Fig11},
+		{"fig12c", "Figure 12c", "Cycles vs warps per CTA for parallel HMMA", Fig12c},
+		{"fig14a", "Figure 14a", "WMMA GEMM cycles vs matrix size, sim vs hardware proxy", Fig14a},
+		{"fig14b", "Figure 14b", "CUTLASS GEMM IPC correlation", Fig14b},
+		{"fig14c", "Figure 14c", "CUTLASS GEMM IPC vs matrix size", Fig14c},
+		{"fig15", "Figure 15", "wmma instruction latency distributions", Fig15},
+		{"fig16", "Figure 16", "wmma latency vs matrix size, with/without shared memory", Fig16},
+		{"fig17", "Figure 17", "GEMM TFLOPS by implementation and size", Fig17},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// fmtI formats an integer cell.
+func fmtI(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// fmtF formats a float cell.
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// scaledTitanV returns a Titan V slice with sms SMs and proportionally
+// scaled chip resources, so that per-SM behaviour (and therefore
+// throughput per SM) matches the full 80-SM part. This is the scale
+// substitution DESIGN.md documents for the paper's largest problems.
+func scaledTitanV(sms int) gpu.Config {
+	cfg := gpu.TitanV()
+	if sms <= 0 || sms >= cfg.NumSMs {
+		return cfg
+	}
+	frac := float64(sms) / float64(cfg.NumSMs)
+	cfg.NumSMs = sms
+	cfg.Mem.DRAMBytesPerCycle = maxInt(8, int(float64(cfg.Mem.DRAMBytesPerCycle)*frac))
+	cfg.Mem.DRAMChannels = maxInt(1, int(float64(cfg.Mem.DRAMChannels)*frac))
+	cfg.Mem.L2SizeBytes = maxInt(64<<10, int(float64(cfg.Mem.L2SizeBytes)*frac))
+	cfg.Mem.L2Banks = maxInt(1, int(float64(cfg.Mem.L2Banks)*frac))
+	cfg.Mem.L2BytesPerCycle = maxInt(8, cfg.Mem.L2BytesPerCycle)
+	return cfg
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// launchOn runs a generated kernel on a fresh device of the given config,
+// with zero-filled operands (timing experiments are data independent) and
+// optional CTA sampling / tracing.
+func launchOn(cfg gpu.Config, l *kernels.Launch, elems []wmma.Precision, dims [][2]int,
+	maxCTAs int, trace bool) (*gpu.Stats, error) {
+	sim, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mem := newZeroMemory()
+	args := make([]uint64, len(elems))
+	for i := range elems {
+		n := dims[i][0] * dims[i][1] * bytesOf(elems[i])
+		args[i] = mem.alloc(n)
+	}
+	return sim.Run(gpu.LaunchSpec{
+		Kernel:  l.Kernel,
+		Grid:    l.Grid,
+		Block:   l.Block,
+		Args:    args,
+		Global:  mem,
+		MaxCTAs: maxCTAs,
+		Trace:   trace,
+	})
+}
+
+func bytesOf(p wmma.Precision) int {
+	b := p.Bits() / 8
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// zeroMemory is an allocation-tracking memory that stays zero-filled but
+// sparse: reads return zeros, writes land in a page map. It keeps the
+// largest sampled GEMMs (16384² matrices would be 0.5 GiB each) cheap.
+type zeroMemory struct {
+	pages map[uint64][]byte
+	brk   uint64
+}
+
+const zpageBits = 16
+
+func newZeroMemory() *zeroMemory { return &zeroMemory{pages: make(map[uint64][]byte)} }
+
+func (m *zeroMemory) alloc(n int) uint64 {
+	addr := (m.brk + 255) &^ 255
+	m.brk = addr + uint64(n)
+	return addr
+}
+
+func (m *zeroMemory) Read(addr uint64, buf []byte) {
+	for i := range buf {
+		p, ok := m.pages[(addr+uint64(i))>>zpageBits]
+		if !ok {
+			buf[i] = 0
+			continue
+		}
+		buf[i] = p[(addr+uint64(i))&(1<<zpageBits-1)]
+	}
+}
+
+func (m *zeroMemory) Write(addr uint64, data []byte) {
+	for i := range data {
+		a := addr + uint64(i)
+		p, ok := m.pages[a>>zpageBits]
+		if !ok {
+			p = make([]byte, 1<<zpageBits)
+			m.pages[a>>zpageBits] = p
+		}
+		p[a&(1<<zpageBits-1)] = data[i]
+	}
+}
+
+var _ ptx.Memory = (*zeroMemory)(nil)

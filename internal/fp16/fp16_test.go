@@ -1,0 +1,307 @@
+package fp16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// decodeRef decodes a binary16 bit pattern into an exact float64 using only
+// math.Ldexp, as an independent reference for the conversion code.
+func decodeRef(b uint16) float64 {
+	sign := 1.0
+	if b&0x8000 != 0 {
+		sign = -1.0
+	}
+	exp := int(b>>10) & 0x1f
+	man := int(b & 0x3ff)
+	switch exp {
+	case 0x1f:
+		if man != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	case 0:
+		return sign * math.Ldexp(float64(man), -24)
+	}
+	return sign * math.Ldexp(float64(man+1024), exp-25)
+}
+
+func TestFloat32Exhaustive(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		x := FromBits(uint16(i))
+		got := float64(x.Float32())
+		want := decodeRef(uint16(i))
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Fatalf("bits %#04x: got %v, want NaN", i, got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("bits %#04x: Float32 = %v, want %v", i, got, want)
+		}
+		// Signed zero must be preserved.
+		if want == 0 && math.Signbit(want) != math.Signbit(got) {
+			t.Fatalf("bits %#04x: zero sign mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripExhaustive(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		x := FromBits(uint16(i))
+		back32 := FromFloat32(x.Float32())
+		back64 := FromFloat64(x.Float64())
+		if x.IsNaN() {
+			if !back32.IsNaN() || !back64.IsNaN() {
+				t.Fatalf("bits %#04x: NaN not preserved (%#04x, %#04x)", i, back32, back64)
+			}
+			continue
+		}
+		if back32 != x {
+			t.Fatalf("bits %#04x: float32 round trip gave %#04x", i, back32)
+		}
+		if back64 != x {
+			t.Fatalf("bits %#04x: float64 round trip gave %#04x", i, back64)
+		}
+	}
+}
+
+func TestFromFloat64MatchesFromFloat32(t *testing.T) {
+	// float64(x) is exact for any float32 x, so rounding the float64 to
+	// half must agree with rounding the float32 directly.
+	f := func(bits uint32) bool {
+		x := math.Float32frombits(bits)
+		a, b := FromFloat32(x), FromFloat64(float64(x))
+		if a.IsNaN() && b.IsNaN() {
+			return true
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	ulp := math.Ldexp(1, -10) // spacing just above 1.0
+	cases := []struct {
+		in   float64
+		want Float16
+	}{
+		{1 + ulp/2, One},                           // midpoint ties to even (mantissa 0)
+		{1 + ulp + ulp/2, FromBits(0x3c02)},        // ties to even (mantissa 2)
+		{1 + ulp/2 + ulp/1024, FromBits(0x3c01)},   // just above midpoint rounds up
+		{1 - ulp/4, One},                           // ulp shrinks below 1.0: midpoint ties to even
+		{65504, Max},                               // max finite
+		{65519.5, Max},                             // below overflow midpoint
+		{65520, PositiveInfinity},                  // overflow midpoint rounds away to Inf
+		{65536, PositiveInfinity},                  // beyond max
+		{-65520, NegativeInfinity},                 //
+		{math.Ldexp(1, -24), SmallestSubnorm},      // exact smallest subnormal
+		{math.Ldexp(1, -25), PositiveZero},         // midpoint between 0 and 2^-24 ties to zero
+		{math.Ldexp(1.0001, -25), SmallestSubnorm}, // just above midpoint rounds up
+		{math.Ldexp(1, -26), PositiveZero},         // below midpoint
+		{math.Ldexp(3, -25), FromBits(0x0002)},     // midpoint between 2^-24 and 2^-23 ties to even
+		{math.Ldexp(1, -14), SmallestNormal},       // smallest normal
+		{0, PositiveZero},
+		{math.Copysign(0, -1), NegativeZero},
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.in); got != c.want {
+			t.Errorf("FromFloat64(%g) = %#04x, want %#04x", c.in, got, c.want)
+		}
+		if got := FromFloat32(float32(c.in)); got != c.want {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	if !QuietNaN.IsNaN() {
+		t.Error("QuietNaN is not NaN")
+	}
+	if !PositiveInfinity.IsInf(1) || !PositiveInfinity.IsInf(0) || PositiveInfinity.IsInf(-1) {
+		t.Error("PositiveInfinity IsInf misreports")
+	}
+	if !NegativeInfinity.IsInf(-1) || NegativeInfinity.IsInf(1) {
+		t.Error("NegativeInfinity IsInf misreports")
+	}
+	if !PositiveZero.IsZero() || !NegativeZero.IsZero() || One.IsZero() {
+		t.Error("IsZero misreports")
+	}
+	if !SmallestSubnorm.IsSubnormal() || SmallestNormal.IsSubnormal() || PositiveZero.IsSubnormal() {
+		t.Error("IsSubnormal misreports")
+	}
+	if One.Float32() != 1 || NegOne.Float32() != -1 || Max.Float32() != 65504 {
+		t.Error("constant decode mismatch")
+	}
+	if FromFloat32(float32(math.NaN())).IsNaN() != true {
+		t.Error("NaN conversion lost NaN-ness")
+	}
+	if got := math.Float32bits(QuietNaN.Neg().Float32()); got&0x80000000 == 0 {
+		t.Error("Neg did not flip NaN sign bit")
+	}
+}
+
+func TestArithmeticProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20000}
+	finite := func(b uint16) Float16 {
+		x := FromBits(b)
+		if x.IsNaN() || x.IsInf(0) {
+			return One
+		}
+		return x
+	}
+	if err := quick.Check(func(a, b uint16) bool {
+		x, y := finite(a), finite(b)
+		return x.Add(y) == y.Add(x)
+	}, cfg); err != nil {
+		t.Errorf("Add not commutative: %v", err)
+	}
+	if err := quick.Check(func(a, b uint16) bool {
+		x, y := finite(a), finite(b)
+		return x.Mul(y) == y.Mul(x)
+	}, cfg); err != nil {
+		t.Errorf("Mul not commutative: %v", err)
+	}
+	if err := quick.Check(func(a uint16) bool {
+		x := finite(a)
+		return x.Mul(One).Eq(x) || x.IsZero()
+	}, cfg); err != nil {
+		t.Errorf("x*1 != x: %v", err)
+	}
+	if err := quick.Check(func(a uint16) bool {
+		x := finite(a)
+		if x.IsZero() {
+			return true
+		}
+		return x.Sub(x).IsZero()
+	}, cfg); err != nil {
+		t.Errorf("x-x != 0: %v", err)
+	}
+	if err := quick.Check(func(a uint16) bool {
+		x := finite(a)
+		return x.Neg().Neg() == x && x.Abs().Signbit() == false
+	}, cfg); err != nil {
+		t.Errorf("Neg/Abs: %v", err)
+	}
+}
+
+func TestArithmeticExactness(t *testing.T) {
+	// Add and Mul must be correctly rounded: verify against exact float64
+	// computation for random operand pairs (products need 22 bits, sums at
+	// most 51 bits, so float64 is exact for both).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		x, y := FromBits(uint16(rng.Intn(1<<16))), FromBits(uint16(rng.Intn(1<<16)))
+		if x.IsNaN() || y.IsNaN() {
+			continue
+		}
+		if got, want := x.Add(y), FromFloat64(x.Float64()+y.Float64()); got != want && !(got.IsNaN() && want.IsNaN()) {
+			t.Fatalf("Add(%v, %v) = %#04x, want %#04x", x, y, got, want)
+		}
+		if got, want := x.Mul(y), FromFloat64(x.Float64()*y.Float64()); got != want && !(got.IsNaN() && want.IsNaN()) {
+			t.Fatalf("Mul(%v, %v) = %#04x, want %#04x", x, y, got, want)
+		}
+	}
+}
+
+func TestNaNAndInfArithmetic(t *testing.T) {
+	if !PositiveInfinity.Add(NegativeInfinity).IsNaN() {
+		t.Error("Inf + -Inf should be NaN")
+	}
+	if !PositiveInfinity.Mul(PositiveZero).IsNaN() {
+		t.Error("Inf * 0 should be NaN")
+	}
+	if !QuietNaN.Add(One).IsNaN() || !One.Mul(QuietNaN).IsNaN() {
+		t.Error("NaN must propagate")
+	}
+	if got := PositiveInfinity.Add(One); !got.IsInf(1) {
+		t.Errorf("Inf + 1 = %v, want +Inf", got)
+	}
+	if got := Max.Add(Max); !got.IsInf(1) {
+		t.Errorf("Max + Max = %v, want +Inf", got)
+	}
+	if !One.Div(PositiveZero).IsInf(1) || !NegOne.Div(PositiveZero).IsInf(-1) {
+		t.Error("division by zero should give signed infinity")
+	}
+}
+
+func TestFMAAndMAC32(t *testing.T) {
+	a, b, c := FromFloat64(3), FromFloat64(5), FromFloat64(7)
+	if got := FMA(a, b, c); got.Float64() != 22 {
+		t.Errorf("FMA(3,5,7) = %v, want 22", got)
+	}
+	// Mixed-precision MAC: the fp16 product is exact in fp32.
+	acc := float32(0)
+	for i := 0; i < 2048; i++ {
+		acc = MAC32(acc, One, One)
+	}
+	if acc != 2048 {
+		t.Errorf("2048 × MAC32(1,1) accumulated %v, want 2048 (fp32 keeps exact integers here)", acc)
+	}
+	// The same loop in pure fp16 saturates at 2048 because 2048+1 rounds
+	// back to 2048 in binary16 — a classic motivation for mixed precision.
+	h := PositiveZero
+	for i := 0; i < 4096; i++ {
+		h = FMA(One, One, h)
+	}
+	if h.Float64() != 2048 {
+		t.Errorf("fp16 accumulation reached %v, want to stall at 2048", h)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	if !NegOne.Less(One) || One.Less(NegOne) {
+		t.Error("ordering of -1 and 1 wrong")
+	}
+	if QuietNaN.Less(One) || One.Less(QuietNaN) || QuietNaN.Eq(QuietNaN) {
+		t.Error("NaN comparisons must be false")
+	}
+	if !PositiveZero.Eq(NegativeZero) {
+		t.Error("+0 must equal -0")
+	}
+	if err := quick.Check(func(a, b uint16) bool {
+		x, y := FromBits(a), FromBits(b)
+		if x.IsNaN() || y.IsNaN() {
+			return !x.Less(y) && !x.Eq(y)
+		}
+		return x.Less(y) == (x.Float32() < y.Float32())
+	}, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[Float16]string{
+		One:              "1",
+		NegOne:           "-1",
+		FromFloat64(0.5): "0.5",
+		Max:              "65504",
+	}
+	for x, want := range cases {
+		if got := x.String(); got != want {
+			t.Errorf("String(%#04x) = %q, want %q", x, got, want)
+		}
+	}
+}
+
+func BenchmarkFromFloat32(b *testing.B) {
+	var sink Float16
+	for i := 0; i < b.N; i++ {
+		sink = FromFloat32(float32(i) * 0.25)
+	}
+	_ = sink
+}
+
+func BenchmarkMAC32(b *testing.B) {
+	x, y := FromFloat64(1.5), FromFloat64(2.5)
+	acc := float32(0)
+	for i := 0; i < b.N; i++ {
+		acc = MAC32(acc, x, y)
+	}
+	_ = acc
+}

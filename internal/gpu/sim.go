@@ -1,0 +1,577 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/ptx"
+)
+
+// LaunchSpec describes one kernel launch.
+type LaunchSpec struct {
+	Kernel *ptx.Kernel
+	Grid   ptx.Dim3
+	Block  ptx.Dim3
+	Args   []uint64
+	Global ptx.Memory
+	// MaxCTAs, when nonzero, simulates only the first MaxCTAs thread
+	// blocks in row-major grid order. Stats report the sampled and total
+	// counts so large problems can be extrapolated (see DESIGN.md's scale
+	// substitution note).
+	MaxCTAs int
+	// Trace enables per-instruction latency tracing for the wmma ops.
+	Trace bool
+}
+
+// Trace holds sampled per-dynamic-instruction latencies (issue to
+// writeback), the quantity the paper's clock-bracketing microbenchmarks
+// observe in Figures 15 and 16.
+type Trace struct {
+	WmmaLoad  []float64
+	WmmaMMA   []float64
+	WmmaStore []float64
+}
+
+// Stats summarizes one simulated kernel launch.
+type Stats struct {
+	Cycles             uint64
+	WarpInstructions   uint64
+	ThreadInstructions uint64
+	TensorOps          uint64 // wmma.mma instructions issued
+	CTAsSimulated      int
+	CTAsTotal          int
+
+	L1HitRate       float64
+	L2HitRate       float64
+	DRAMAccesses    uint64
+	SharedConflicts uint64
+
+	Trace *Trace
+}
+
+// IPC returns warp instructions per cycle across the whole GPU — the
+// metric of the paper's Figure 14b correlation.
+func (st *Stats) IPC() float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return float64(st.WarpInstructions) / float64(st.Cycles)
+}
+
+// Seconds converts the cycle count to wall time at the configured clock.
+func (st *Stats) Seconds(cfg Config) float64 {
+	return float64(st.Cycles) / (cfg.ClockMHz * 1e6)
+}
+
+// Simulator is a configured GPU. A Simulator is single-use per Run in the
+// sense that caches stay warm between runs; construct a fresh one per
+// experiment for cold-start behaviour.
+type Simulator struct {
+	cfg   Config
+	sys   *mem.System
+	sms   []*sm
+	cycle uint64
+}
+
+// New builds a simulator for the configuration.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, sys: mem.NewSystem(cfg.Mem)}
+	for i := 0; i < cfg.NumSMs; i++ {
+		m := &sm{id: i, sim: s, port: s.sys.NewSMPort()}
+		m.subcores = make([]*subcore, cfg.SubCores)
+		for j := range m.subcores {
+			m.subcores[j] = &subcore{}
+		}
+		s.sms = append(s.sms, m)
+	}
+	return s, nil
+}
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+type sm struct {
+	id       int
+	sim      *Simulator
+	port     *mem.SMPort
+	subcores []*subcore
+	ctas     []*simCTA
+	warps    int // live warps
+	shared   int // shared bytes in use
+}
+
+type subcore struct {
+	warps   []*simWarp
+	tcFree  uint64
+	aluFree uint64
+	sfuFree uint64
+	greedy  int // index of the warp GTO sticks with
+}
+
+type simCTA struct {
+	env       *ptx.Env
+	warps     []*simWarp
+	live      int
+	atBarrier int
+}
+
+type simWarp struct {
+	warp       *ptx.Warp
+	cta        *simCTA
+	sc         *subcore
+	regReady   []uint64
+	stallUntil uint64
+	lastIssue  uint64
+	barrier    bool
+	finished   bool
+}
+
+// Run simulates the launch to completion and returns its statistics.
+func (s *Simulator) Run(spec LaunchSpec) (*Stats, error) {
+	if spec.Kernel == nil || spec.Global == nil {
+		return nil, fmt.Errorf("gpu: launch needs a kernel and global memory")
+	}
+	total := spec.Grid.Count()
+	limit := total
+	if spec.MaxCTAs > 0 && spec.MaxCTAs < total {
+		limit = spec.MaxCTAs
+	}
+	d := &dispatcher{spec: spec, sim: s, limit: limit}
+	st := &Stats{CTAsTotal: total}
+	if spec.Trace {
+		st.Trace = &Trace{}
+	}
+
+	// Reset per-run state.
+	s.cycle = 0
+	for _, m := range s.sms {
+		m.ctas = m.ctas[:0]
+		m.warps = 0
+		m.shared = 0
+		for _, sc := range m.subcores {
+			sc.warps = sc.warps[:0]
+			sc.tcFree, sc.aluFree, sc.sfuFree, sc.greedy = 0, 0, 0, 0
+		}
+	}
+	// Initial dispatch: round-robin one CTA per SM per pass, so the grid
+	// spreads across the chip the way the hardware work distributor does.
+	for {
+		progress := false
+		for _, m := range s.sms {
+			added, err := d.fillOne(m)
+			if err != nil {
+				return nil, err
+			}
+			progress = progress || added
+		}
+		if !progress {
+			break
+		}
+	}
+
+	const maxCycles = 4_000_000_000
+	for {
+		issuedAny := false
+		liveAny := false
+		var minWake uint64 = math.MaxUint64
+		for _, m := range s.sms {
+			iss, live, wake, err := m.step(st)
+			if err != nil {
+				return nil, err
+			}
+			// Refill a completed CTA slot (one per SM per cycle).
+			if _, err := d.fillOne(m); err != nil {
+				return nil, err
+			}
+			issuedAny = issuedAny || iss
+			liveAny = liveAny || live || len(m.ctas) > 0
+			if wake < minWake {
+				minWake = wake
+			}
+		}
+		if !liveAny && d.done() {
+			break
+		}
+		if issuedAny {
+			s.cycle++
+		} else {
+			if minWake == math.MaxUint64 {
+				return nil, fmt.Errorf("gpu: deadlock at cycle %d", s.cycle)
+			}
+			if minWake <= s.cycle {
+				s.cycle++
+			} else {
+				s.cycle = minWake
+			}
+		}
+		if s.cycle > maxCycles {
+			return nil, fmt.Errorf("gpu: exceeded %d cycles", uint64(maxCycles))
+		}
+	}
+
+	st.Cycles = s.cycle
+	st.CTAsSimulated = d.started
+	var l1h, l1m uint64
+	for _, m := range s.sms {
+		l1h += m.port.L1Hits
+		l1m += m.port.L1Misses
+		st.SharedConflicts += m.port.SharedConflicts
+	}
+	if l1h+l1m > 0 {
+		st.L1HitRate = float64(l1h) / float64(l1h+l1m)
+	}
+	st.L2HitRate = s.sys.L2HitRate()
+	st.DRAMAccesses = s.sys.DRAMAccesses
+	return st, nil
+}
+
+// dispatcher hands grid CTAs to SMs as capacity frees up.
+type dispatcher struct {
+	spec    LaunchSpec
+	sim     *Simulator
+	next    int
+	limit   int
+	started int
+}
+
+func (d *dispatcher) done() bool { return d.next >= d.limit }
+
+// fillOne assigns at most one CTA to the SM if occupancy limits allow.
+func (d *dispatcher) fillOne(m *sm) (bool, error) {
+	cfg := d.sim.cfg
+	k := d.spec.Kernel
+	warpsPerCTA := (d.spec.Block.Count() + 31) / 32
+	if d.done() ||
+		len(m.ctas) >= cfg.MaxCTAsPerSM ||
+		m.warps+warpsPerCTA > cfg.MaxWarpsPerSM ||
+		m.shared+k.SharedBytes > cfg.SharedPerSM {
+		return false, nil
+	}
+	id := d.next
+	d.next++
+	d.started++
+	ctaID := ptx.Dim3{
+		X: id % d.spec.Grid.X,
+		Y: (id / d.spec.Grid.X) % d.spec.Grid.Y,
+		Z: id / (d.spec.Grid.X * d.spec.Grid.Y),
+	}
+	env := &ptx.Env{
+		Global:   d.spec.Global,
+		Shared:   make([]byte, k.SharedBytes),
+		GridDim:  d.spec.Grid,
+		BlockDim: d.spec.Block,
+		CtaID:    ctaID,
+	}
+	sim := d.sim
+	env.Clock = func() uint64 { return sim.cycle }
+	cta := &simCTA{env: env}
+	for wi := 0; wi < warpsPerCTA; wi++ {
+		w, err := ptx.NewWarp(k, env, wi, d.spec.Args)
+		if err != nil {
+			return false, err
+		}
+		sc := m.subcores[(m.warps+wi)%cfg.SubCores]
+		sw := &simWarp{warp: w, cta: cta, sc: sc, regReady: make([]uint64, k.NumRegs)}
+		if w.Exited {
+			sw.finished = true
+		} else {
+			cta.live++
+		}
+		cta.warps = append(cta.warps, sw)
+		sc.warps = append(sc.warps, sw)
+	}
+	m.warps += warpsPerCTA
+	m.shared += k.SharedBytes
+	m.ctas = append(m.ctas, cta)
+	return true, nil
+}
+
+// step advances one SM by one cycle: each sub-core scheduler issues at
+// most one warp instruction. Returns whether anything issued, whether any
+// warp is still live, and the earliest cycle at which a currently stalled
+// warp could issue.
+func (m *sm) step(st *Stats) (issued, live bool, wake uint64, err error) {
+	wake = math.MaxUint64
+	now := m.sim.cycle
+	for _, sc := range m.subcores {
+		iss, lv, wk, e := m.stepSubcore(sc, now, st)
+		if e != nil {
+			return false, false, 0, e
+		}
+		issued = issued || iss
+		live = live || lv
+		if wk < wake {
+			wake = wk
+		}
+	}
+	// Retire finished CTAs.
+	kept := m.ctas[:0]
+	for _, cta := range m.ctas {
+		if cta.live > 0 {
+			kept = append(kept, cta)
+			continue
+		}
+		m.warps -= len(cta.warps)
+		m.shared -= len(cta.env.Shared)
+		for _, sc := range m.subcores {
+			sc.removeFinished()
+		}
+	}
+	m.ctas = kept
+	return issued, live, wake, nil
+}
+
+func (sc *subcore) removeFinished() {
+	kept := sc.warps[:0]
+	for _, w := range sc.warps {
+		if !w.finished {
+			kept = append(kept, w)
+		}
+	}
+	sc.warps = kept
+	if sc.greedy >= len(sc.warps) {
+		sc.greedy = 0
+	}
+}
+
+// candidateOrder yields scheduler-ordered warp indexes.
+func (sc *subcore) candidateOrder(policy SchedulerPolicy, buf []int) []int {
+	n := len(sc.warps)
+	buf = buf[:0]
+	if n == 0 {
+		return buf
+	}
+	start := sc.greedy
+	if policy == LRR {
+		start = (sc.greedy + 1) % n
+	}
+	for i := 0; i < n; i++ {
+		buf = append(buf, (start+i)%n)
+	}
+	if policy == GTO && n > 2 {
+		// After the greedy warp, prefer the oldest (least recently
+		// issued): simple selection over the remainder.
+		rest := buf[1:]
+		for i := 0; i < len(rest); i++ {
+			best := i
+			for j := i + 1; j < len(rest); j++ {
+				if sc.warps[rest[j]].lastIssue < sc.warps[rest[best]].lastIssue {
+					best = j
+				}
+			}
+			rest[i], rest[best] = rest[best], rest[i]
+		}
+	}
+	return buf
+}
+
+func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued, live bool, wake uint64, err error) {
+	wake = math.MaxUint64
+	var order [64]int
+	for _, idx := range sc.candidateOrder(m.sim.cfg.Scheduler, order[:0]) {
+		w := sc.warps[idx]
+		if w.finished {
+			continue
+		}
+		live = true
+		if w.barrier {
+			continue
+		}
+		if w.stallUntil > now {
+			if w.stallUntil < wake {
+				wake = w.stallUntil
+			}
+			continue
+		}
+		in := w.warp.Peek()
+		if in == nil {
+			m.finishWarp(w, now)
+			continue
+		}
+		if ready, at := w.operandsReady(in, now); !ready {
+			w.stallUntil = at
+			if at < wake {
+				wake = at
+			}
+			continue
+		}
+		if free, at := m.unitFree(sc, in, now); !free {
+			if at < wake {
+				wake = at
+			}
+			continue
+		}
+		if err := m.issue(sc, w, in, now, st); err != nil {
+			return false, live, wake, err
+		}
+		sc.greedy = idx
+		return true, live, wake, nil
+	}
+	return false, live, wake, nil
+}
+
+func (m *sm) finishWarp(w *simWarp, now uint64) {
+	w.finished = true
+	w.cta.live--
+	m.maybeReleaseBarrier(w.cta, now)
+}
+
+// operandsReady checks the scoreboard for RAW and WAW hazards.
+func (w *simWarp) operandsReady(in *ptx.Instr, now uint64) (bool, uint64) {
+	latest := uint64(0)
+	check := func(r ptx.Reg) {
+		if t := w.regReady[r.ID]; t > latest {
+			latest = t
+		}
+	}
+	for _, o := range in.Src {
+		if o.Kind == ptx.OperandReg {
+			check(o.Reg)
+		}
+	}
+	for _, r := range in.Dst {
+		check(r)
+	}
+	if in.Pred != nil {
+		check(*in.Pred)
+	}
+	if latest > now {
+		return false, latest
+	}
+	return true, now
+}
+
+// unitFree checks structural availability of the instruction's unit.
+func (m *sm) unitFree(sc *subcore, in *ptx.Instr, now uint64) (bool, uint64) {
+	switch in.Op {
+	case ptx.OpWmmaMMA:
+		if sc.tcFree > now {
+			return false, sc.tcFree
+		}
+	case ptx.OpDiv, ptx.OpRem:
+		if sc.sfuFree > now {
+			return false, sc.sfuFree
+		}
+	case ptx.OpLd, ptx.OpSt, ptx.OpWmmaLoad, ptx.OpWmmaStore, ptx.OpBar, ptx.OpBra, ptx.OpExit:
+		// LSU queueing is modeled inside mem.SMPort; control ops always
+		// accept.
+	default:
+		if sc.aluFree > now {
+			return false, sc.aluFree
+		}
+	}
+	return true, now
+}
+
+// issue executes the instruction functionally and charges its timing.
+func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.Instr, now uint64, st *Stats) error {
+	cfg := m.sim.cfg
+	res, err := w.warp.Step()
+	if err != nil {
+		return err
+	}
+	st.WarpInstructions++
+	for lane := 0; lane < 32; lane++ {
+		if w.warp.Active[lane] {
+			st.ThreadInstructions++
+		}
+	}
+	w.lastIssue = now
+
+	done := now + uint64(cfg.IssueLatency)
+	switch in.Op {
+	case ptx.OpBra:
+		done += 1
+	case ptx.OpExit:
+		m.finishWarp(w, now)
+		return nil
+	case ptx.OpBar:
+		w.barrier = true
+		w.cta.atBarrier++
+		m.maybeReleaseBarrier(w.cta, now)
+		return nil
+	case ptx.OpDiv, ptx.OpRem:
+		sc.sfuFree = now + uint64(cfg.SFUII)
+		done += uint64(cfg.SFULatency)
+	case ptx.OpLd, ptx.OpSt:
+		done = m.accessMemory(res, now) + uint64(cfg.IssueLatency)
+	case ptx.OpWmmaLoad, ptx.OpWmmaStore:
+		done = m.accessMemory(res, now) + uint64(cfg.IssueLatency+cfg.WmmaMemOverhead)
+		if st.Trace != nil {
+			lat := float64(done - now)
+			if in.Op == ptx.OpWmmaLoad {
+				st.Trace.WmmaLoad = append(st.Trace.WmmaLoad, lat)
+			} else {
+				st.Trace.WmmaStore = append(st.Trace.WmmaStore, lat)
+			}
+		}
+	case ptx.OpWmmaMMA:
+		st.TensorOps++
+		timing, err := cfg.tensorTiming(in.WConfig)
+		if err != nil {
+			return err
+		}
+		sc.tcFree = now + cfg.tensorOccupancy(in.WConfig)
+		done = now + uint64(timing.Total())
+		if st.Trace != nil {
+			st.Trace.WmmaMMA = append(st.Trace.WmmaMMA, float64(done-now))
+		}
+	default:
+		sc.aluFree = now + uint64(cfg.ALUII)
+		done += uint64(cfg.ALULatency)
+	}
+
+	for _, r := range in.Dst {
+		w.regReady[r.ID] = done
+	}
+	// The next instruction of this warp issues no earlier than next cycle.
+	if w.stallUntil <= now {
+		w.stallUntil = now + 1
+	}
+	return nil
+}
+
+// accessMemory routes an instruction's accesses through the SM port.
+func (m *sm) accessMemory(res ptx.Result, now uint64) uint64 {
+	var shared, global []mem.Request
+	for _, a := range res.Accesses {
+		r := mem.Request{Addr: a.Addr, Bits: a.Bits, Store: a.Store}
+		if a.Space == ptx.Shared {
+			shared = append(shared, r)
+		} else {
+			global = append(global, r)
+		}
+	}
+	done := now
+	if len(shared) > 0 {
+		if t := m.port.AccessShared(now, shared); t > done {
+			done = t
+		}
+	}
+	if len(global) > 0 {
+		if t := m.port.AccessGlobal(now, global); t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// maybeReleaseBarrier releases the CTA's barrier once every live warp has
+// arrived (exited warps do not participate).
+func (m *sm) maybeReleaseBarrier(cta *simCTA, now uint64) {
+	if cta.live == 0 || cta.atBarrier < cta.live {
+		return
+	}
+	for _, w := range cta.warps {
+		if w.barrier {
+			w.barrier = false
+			w.warp.AtBarrier = false
+			w.stallUntil = now + uint64(m.sim.cfg.BarrierLatency)
+		}
+	}
+	cta.atBarrier = 0
+}

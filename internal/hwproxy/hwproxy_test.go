@@ -1,0 +1,96 @@
+package hwproxy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeakMatchesPaper(t *testing.T) {
+	h := TitanV()
+	if p := h.PeakTensorTFLOPS(); math.Abs(p-125.3) > 1 {
+		t.Errorf("peak = %.1f TFLOPS, want ≈ 125", p)
+	}
+	if s := h.MaxSustainedTensorTFLOPS(); math.Abs(s-109.5) > 3 {
+		t.Errorf("sustained = %.1f TFLOPS, want ≈ 109.6 (paper Section V-C)", s)
+	}
+}
+
+func tcSpec(n int) GemmSpec {
+	return GemmSpec{M: n, N: n, K: n, Kind: TensorCore, BlockM: 64, BlockN: 64, CBytes: 4}
+}
+
+func TestCyclesMonotonicInSize(t *testing.T) {
+	h := TitanV()
+	prev := 0.0
+	for _, n := range []int{128, 256, 512, 1024, 2048} {
+		c := h.Cycles(tcSpec(n))
+		if c <= prev {
+			t.Errorf("cycles(%d) = %v not increasing", n, c)
+		}
+		prev = c
+	}
+}
+
+func TestTensorBeatsSimt(t *testing.T) {
+	h := TitanV()
+	n := 4096
+	tc := h.TFLOPS(tcSpec(n))
+	sg := h.TFLOPS(GemmSpec{M: n, N: n, K: n, Kind: SimtFP32, BlockM: 64, BlockN: 64, CBytes: 4})
+	hg := h.TFLOPS(GemmSpec{M: n, N: n, K: n, Kind: SimtFP16, BlockM: 64, BlockN: 128, CBytes: 2})
+	// The paper: tensor cores give ≈3–6× SGEMM and ≈3× HGEMM.
+	if r := tc / sg; r < 3 || r > 12 {
+		t.Errorf("TC/SGEMM ratio = %.2f, want within the paper's 3–6× ballpark", r)
+	}
+	if r := tc / hg; r < 2 || r > 6 {
+		t.Errorf("TC/HGEMM ratio = %.2f, want ≈ 3×", r)
+	}
+	if hg <= sg {
+		t.Errorf("HGEMM (%.1f) should beat SGEMM (%.1f)", hg, sg)
+	}
+}
+
+func TestSmallSizesLaunchBound(t *testing.T) {
+	h := TitanV()
+	c := h.Cycles(tcSpec(64))
+	if c < h.LaunchOverhead {
+		t.Errorf("small GEMM %v cycles below launch overhead", c)
+	}
+	// Doubling a tiny problem should barely move the total.
+	c2 := h.Cycles(tcSpec(128))
+	if c2 > 3*c {
+		t.Errorf("launch-bound region scaling too steep: %v → %v", c, c2)
+	}
+}
+
+func TestTFLOPSSaturates(t *testing.T) {
+	h := TitanV()
+	big := h.TFLOPS(tcSpec(8192))
+	peak := h.PeakTensorTFLOPS()
+	if big > peak {
+		t.Errorf("proxied %.1f TFLOPS exceeds theoretical %.1f", big, peak)
+	}
+	if big < 0.35*peak {
+		t.Errorf("proxied %.1f TFLOPS too far below peak for 8192³ (64×64 tiles are L2-bound)", big)
+	}
+	// Paper: maximum GEMM throughput observed ≈ 96 TFLOPS at 8192², with
+	// cuBLAS-class (large) tiles.
+	cublas := h.TFLOPS(GemmSpec{M: 8192, N: 8192, K: 8192, Kind: TensorCore,
+		BlockM: 128, BlockN: 128, CBytes: 4})
+	if cublas < 85 || cublas > 112 {
+		t.Errorf("8192³ large-tile GEMM = %.1f TFLOPS, paper measured ≈ 96", cublas)
+	}
+	if cublas <= big {
+		t.Errorf("large tiles (%.1f) should beat 64×64 (%.1f) — the cuBLAS-vs-WMMA gap of Figure 17", cublas, big)
+	}
+}
+
+func TestIPCUsesWorkloadInstructions(t *testing.T) {
+	h := TitanV()
+	s := tcSpec(512)
+	if got := h.IPC(1000, s); got <= 0 {
+		t.Error("IPC should be positive")
+	}
+	if h.IPC(2000, s) != 2*h.IPC(1000, s) {
+		t.Error("IPC must scale with instruction count")
+	}
+}

@@ -1,0 +1,309 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/ptx"
+)
+
+// SIMT GEMM baselines: the paper's Figure 17 compares tensor-core GEMMs
+// against cuBLAS running on the ordinary FP32/FP16 datapaths
+// (CUBLAS_WO_TC_FP32/FP16). These kernels are register-tiled,
+// shared-memory staged SIMT GEMMs in that spirit: each thread accumulates
+// a 4×4 register tile (4×8 in packed-half form), keeping the FMA
+// fraction high enough to approach the SIMT datapath's peak.
+
+// SGEMMSimt builds the FP32 SIMT GEMM: CTAs of 256 threads compute 64×64
+// blocks of D = A×B + C, staging 64×16 A and 16×64 B panels in shared
+// memory; each thread owns a 4×4 accumulator tile. All matrices are
+// row-major FP32.
+func SGEMMSimt(m, n, k int) (*Launch, error) {
+	if err := checkDims(m, n, k, 64); err != nil {
+		return nil, err
+	}
+	b := ptx.NewBuilder(fmt.Sprintf("sgemm_simt_%d_%d_%d", m, n, k))
+	pa := b.Param("a", ptx.U64)
+	pb := b.Param("b", ptx.U64)
+	pc := b.Param("c", ptx.U64)
+	pd := b.Param("d", ptx.U64)
+
+	smemA := b.Shared(64 * 16 * 4)
+	smemB := b.Shared(16 * 64 * 4)
+
+	rowBase, colBase := b.Reg(), b.Reg()
+	b.Mul(ptx.U32, rowBase, ptx.SR(ptx.SRegCtaIDY), ptx.Imm(64))
+	b.Mul(ptx.U32, colBase, ptx.SR(ptx.SRegCtaIDX), ptx.Imm(64))
+
+	tid, tx, ty := b.Reg(), b.Reg(), b.Reg()
+	b.Mov(ptx.U32, tid, ptx.SR(ptx.SRegTidX))
+	b.And(ptx.U32, tx, ptx.R(tid), ptx.Imm(15))
+	b.Shr(ptx.U32, ty, ptx.R(tid), ptx.Imm(4))
+
+	// Staging indices: thread t copies 4 consecutive floats of each panel.
+	elem := b.Reg()
+	b.Mul(ptx.U32, elem, ptx.R(tid), ptx.Imm(4))
+	aRow, aCol, bRow, bCol := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Shr(ptx.U32, aRow, ptx.R(elem), ptx.Imm(4))
+	b.And(ptx.U32, aCol, ptx.R(elem), ptx.Imm(15))
+	b.Shr(ptx.U32, bRow, ptx.R(elem), ptx.Imm(6))
+	b.And(ptx.U32, bCol, ptx.R(elem), ptx.Imm(63))
+
+	tmp := b.Reg()
+	aCopy := b.Reg()
+	b.Add(ptx.U32, tmp, ptx.R(rowBase), ptx.R(aRow))
+	b.Mul(ptx.U32, tmp, ptx.R(tmp), ptx.Imm(uint64(k)))
+	b.Add(ptx.U32, tmp, ptx.R(tmp), ptx.R(aCol))
+	b.MulWide(aCopy, ptx.R(tmp), ptx.Imm(4))
+	b.Add(ptx.U64, aCopy, ptx.R(aCopy), ptx.R(pa))
+
+	bCopy := b.Reg()
+	b.Mul(ptx.U32, tmp, ptx.R(bRow), ptx.Imm(uint64(n)))
+	b.Add(ptx.U32, tmp, ptx.R(tmp), ptx.R(colBase))
+	b.Add(ptx.U32, tmp, ptx.R(tmp), ptx.R(bCol))
+	b.MulWide(bCopy, ptx.R(tmp), ptx.Imm(4))
+	b.Add(ptx.U64, bCopy, ptx.R(bCopy), ptx.R(pb))
+
+	aDst, bDst, tmp64 := b.Reg(), b.Reg(), b.Reg()
+	b.MulWide(tmp64, ptx.R(elem), ptx.Imm(4))
+	b.Add(ptx.U64, aDst, ptx.R(tmp64), ptx.Imm(smemA))
+	b.Add(ptx.U64, bDst, ptx.R(tmp64), ptx.Imm(smemB))
+
+	// Accumulators.
+	acc := b.Regs(16)
+	for _, r := range acc {
+		b.Mov(ptx.F32, r, ptx.Imm(0))
+	}
+
+	// Per-thread fragment base addresses in shared memory, re-derived at
+	// the top of each K step (they advance by 4 bytes per unrolled kk for
+	// A, 256 bytes for B).
+	aFragBase, bFragBase := b.Reg(), b.Reg()
+	b.MulWide(aFragBase, ptx.R(ty), ptx.Imm(4*16*4)) // ty*4 rows × 16 floats
+	b.Add(ptx.U64, aFragBase, ptx.R(aFragBase), ptx.Imm(smemA))
+	b.MulWide(bFragBase, ptx.R(tx), ptx.Imm(4*4)) // tx*4 floats
+	b.Add(ptx.U64, bFragBase, ptx.R(bFragBase), ptx.Imm(smemB))
+
+	aAddr, bAddr := b.Reg(), b.Reg()
+	aReg, bReg := b.Regs(4), b.Regs(4)
+	cp := b.Regs(4)
+
+	i, pr := b.Reg(), b.Reg()
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	b.Label("ktop")
+	b.Ld(ptx.Global, 128, cp, ptx.R(aCopy))
+	b.St(ptx.Shared, 128, ptx.R(aDst), []ptx.Operand{ptx.R(cp[0]), ptx.R(cp[1]), ptx.R(cp[2]), ptx.R(cp[3])})
+	b.Ld(ptx.Global, 128, cp, ptx.R(bCopy))
+	b.St(ptx.Shared, 128, ptx.R(bDst), []ptx.Operand{ptx.R(cp[0]), ptx.R(cp[1]), ptx.R(cp[2]), ptx.R(cp[3])})
+	b.Bar()
+	b.Mov(ptx.U64, aAddr, ptx.R(aFragBase))
+	b.Mov(ptx.U64, bAddr, ptx.R(bFragBase))
+	for kk := 0; kk < 16; kk++ {
+		// A column fragment: 4 floats spaced one row (16 floats) apart.
+		for r := 0; r < 4; r++ {
+			off := uint64(kk*4 + r*16*4)
+			b.Add(ptx.U64, tmp64, ptx.R(aAddr), ptx.Imm(off))
+			b.Ld(ptx.Shared, 32, []ptx.Reg{aReg[r]}, ptx.R(tmp64))
+		}
+		// B row fragment: 4 consecutive floats.
+		b.Add(ptx.U64, tmp64, ptx.R(bAddr), ptx.Imm(uint64(kk*64*4)))
+		b.Ld(ptx.Shared, 128, bReg, ptx.R(tmp64))
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				b.Mad(ptx.F32, acc[r*4+c], ptx.R(aReg[r]), ptx.R(bReg[c]), ptx.R(acc[r*4+c]))
+			}
+		}
+	}
+	b.Bar()
+	b.Add(ptx.U64, aCopy, ptx.R(aCopy), ptx.Imm(16*4))
+	b.Add(ptx.U64, bCopy, ptx.R(bCopy), ptx.Imm(uint64(16*n*4)))
+	b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	b.Setp(ptx.U32, ptx.CmpLT, pr, ptx.R(i), ptx.Imm(uint64(k/16)))
+	b.BraIf(pr, false, "ktop")
+
+	// Epilogue: D = acc + C, one 128-bit row segment at a time.
+	dRow, dOff, cAddr, dAddr := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	for r := 0; r < 4; r++ {
+		b.Mad(ptx.U32, dRow, ptx.R(ty), ptx.Imm(4), ptx.R(rowBase))
+		b.Add(ptx.U32, dRow, ptx.R(dRow), ptx.Imm(uint64(r)))
+		b.Mul(ptx.U32, dOff, ptx.R(dRow), ptx.Imm(uint64(n)))
+		b.Add(ptx.U32, dOff, ptx.R(dOff), ptx.R(colBase))
+		b.Mad(ptx.U32, dOff, ptx.R(tx), ptx.Imm(4), ptx.R(dOff))
+		b.MulWide(cAddr, ptx.R(dOff), ptx.Imm(4))
+		b.Add(ptx.U64, dAddr, ptx.R(cAddr), ptx.R(pd))
+		b.Add(ptx.U64, cAddr, ptx.R(cAddr), ptx.R(pc))
+		b.Ld(ptx.Global, 128, cp, ptx.R(cAddr))
+		for c := 0; c < 4; c++ {
+			b.Add(ptx.F32, acc[r*4+c], ptx.R(acc[r*4+c]), ptx.R(cp[c]))
+		}
+		b.St(ptx.Global, 128, ptx.R(dAddr), []ptx.Operand{
+			ptx.R(acc[r*4]), ptx.R(acc[r*4+1]), ptx.R(acc[r*4+2]), ptx.R(acc[r*4+3])})
+	}
+	b.Exit()
+
+	kern, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Launch{
+		Kernel:   kern,
+		Grid:     ptx.D2(n/64, m/64),
+		Block:    ptx.D1(256),
+		ArgNames: []string{"a", "b", "c", "d"},
+		FLOPs:    gemmFLOPs(m, n, k),
+	}, nil
+}
+
+// HGEMMSimt builds the packed-half SIMT GEMM: the same structure as
+// SGEMMSimt but every math instruction operates on f16x2 pairs, doubling
+// MACs per issue — CTAs of 256 threads compute 64×128 blocks, each thread
+// a 4-row × 8-half-column tile. All matrices are row-major FP16.
+func HGEMMSimt(m, n, k int) (*Launch, error) {
+	if m%64 != 0 || n%128 != 0 || k%16 != 0 {
+		return nil, fmt.Errorf("kernels: HGEMM needs M%%64, N%%128, K%%16, got %dx%dx%d", m, n, k)
+	}
+	b := ptx.NewBuilder(fmt.Sprintf("hgemm_simt_%d_%d_%d", m, n, k))
+	pa := b.Param("a", ptx.U64)
+	pb := b.Param("b", ptx.U64)
+	pc := b.Param("c", ptx.U64)
+	pd := b.Param("d", ptx.U64)
+
+	// A is staged pre-duplicated: each half is stored as an f16x2 word
+	// with both lanes equal, so the inner loop's multiplicand loads need
+	// no unpack/duplicate instructions.
+	smemA := b.Shared(64 * 16 * 4)
+	smemB := b.Shared(16 * 128 * 2)
+
+	rowBase, colBase := b.Reg(), b.Reg()
+	b.Mul(ptx.U32, rowBase, ptx.SR(ptx.SRegCtaIDY), ptx.Imm(64))
+	b.Mul(ptx.U32, colBase, ptx.SR(ptx.SRegCtaIDX), ptx.Imm(128))
+
+	tid, tx, ty := b.Reg(), b.Reg(), b.Reg()
+	b.Mov(ptx.U32, tid, ptx.SR(ptx.SRegTidX))
+	b.And(ptx.U32, tx, ptx.R(tid), ptx.Imm(15))
+	b.Shr(ptx.U32, ty, ptx.R(tid), ptx.Imm(4))
+
+	// A staging: 4 halves per thread (64-bit copies).
+	elemA := b.Reg()
+	b.Mul(ptx.U32, elemA, ptx.R(tid), ptx.Imm(4))
+	aRow, aCol := b.Reg(), b.Reg()
+	b.Shr(ptx.U32, aRow, ptx.R(elemA), ptx.Imm(4))
+	b.And(ptx.U32, aCol, ptx.R(elemA), ptx.Imm(15))
+	// B staging: 8 halves per thread (128-bit copies).
+	elemB := b.Reg()
+	b.Mul(ptx.U32, elemB, ptx.R(tid), ptx.Imm(8))
+	bRow, bCol := b.Reg(), b.Reg()
+	b.Shr(ptx.U32, bRow, ptx.R(elemB), ptx.Imm(7))
+	b.And(ptx.U32, bCol, ptx.R(elemB), ptx.Imm(127))
+
+	tmp, tmp64 := b.Reg(), b.Reg()
+	aCopy := b.Reg()
+	b.Add(ptx.U32, tmp, ptx.R(rowBase), ptx.R(aRow))
+	b.Mul(ptx.U32, tmp, ptx.R(tmp), ptx.Imm(uint64(k)))
+	b.Add(ptx.U32, tmp, ptx.R(tmp), ptx.R(aCol))
+	b.MulWide(aCopy, ptx.R(tmp), ptx.Imm(2))
+	b.Add(ptx.U64, aCopy, ptx.R(aCopy), ptx.R(pa))
+
+	bCopy := b.Reg()
+	b.Mul(ptx.U32, tmp, ptx.R(bRow), ptx.Imm(uint64(n)))
+	b.Add(ptx.U32, tmp, ptx.R(tmp), ptx.R(colBase))
+	b.Add(ptx.U32, tmp, ptx.R(tmp), ptx.R(bCol))
+	b.MulWide(bCopy, ptx.R(tmp), ptx.Imm(2))
+	b.Add(ptx.U64, bCopy, ptx.R(bCopy), ptx.R(pb))
+
+	aDst, bDst := b.Reg(), b.Reg()
+	b.MulWide(tmp64, ptx.R(elemA), ptx.Imm(4)) // duplicated: 4 bytes per half
+	b.Add(ptx.U64, aDst, ptx.R(tmp64), ptx.Imm(smemA))
+	b.MulWide(tmp64, ptx.R(elemB), ptx.Imm(2))
+	b.Add(ptx.U64, bDst, ptx.R(tmp64), ptx.Imm(smemB))
+
+	// f16x2 accumulators: 4 rows × 4 half2 columns.
+	acc := b.Regs(16)
+	for _, r := range acc {
+		b.Mov(ptx.U32, r, ptx.Imm(0))
+	}
+
+	aFragBase, bFragBase := b.Reg(), b.Reg()
+	b.MulWide(aFragBase, ptx.R(ty), ptx.Imm(4*16*4))
+	b.Add(ptx.U64, aFragBase, ptx.R(aFragBase), ptx.Imm(smemA))
+	b.MulWide(bFragBase, ptx.R(tx), ptx.Imm(8*2))
+	b.Add(ptx.U64, bFragBase, ptx.R(bFragBase), ptx.Imm(smemB))
+
+	a2 := b.Regs(4)
+	bReg := b.Regs(4)
+	cp2 := b.Regs(2)
+	cp4 := b.Regs(4)
+	dup := b.Regs(4)
+
+	i, pr := b.Reg(), b.Reg()
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	b.Label("ktop")
+	// Stage A with each half duplicated into both f16x2 lanes.
+	b.Ld(ptx.Global, 64, cp2, ptx.R(aCopy))
+	for h := 0; h < 4; h++ {
+		src := cp2[h/2]
+		lo, t := dup[h], tmp
+		if h%2 == 0 {
+			b.And(ptx.U32, lo, ptx.R(src), ptx.Imm(0xffff))
+		} else {
+			b.Shr(ptx.U32, lo, ptx.R(src), ptx.Imm(16))
+		}
+		b.Shl(ptx.U32, t, ptx.R(lo), ptx.Imm(16))
+		b.Or(ptx.U32, lo, ptx.R(lo), ptx.R(t))
+	}
+	b.St(ptx.Shared, 128, ptx.R(aDst), []ptx.Operand{ptx.R(dup[0]), ptx.R(dup[1]), ptx.R(dup[2]), ptx.R(dup[3])})
+	b.Ld(ptx.Global, 128, cp4, ptx.R(bCopy))
+	b.St(ptx.Shared, 128, ptx.R(bDst), []ptx.Operand{ptx.R(cp4[0]), ptx.R(cp4[1]), ptx.R(cp4[2]), ptx.R(cp4[3])})
+	b.Bar()
+	for kk := 0; kk < 16; kk++ {
+		for r := 0; r < 4; r++ {
+			b.Add(ptx.U64, tmp64, ptx.R(aFragBase), ptx.Imm(uint64((kk+r*16)*4)))
+			b.Ld(ptx.Shared, 32, []ptx.Reg{a2[r]}, ptx.R(tmp64))
+		}
+		// 8 consecutive halves = 4 f16x2 registers.
+		b.Add(ptx.U64, tmp64, ptx.R(bFragBase), ptx.Imm(uint64(kk*128*2)))
+		b.Ld(ptx.Shared, 128, bReg, ptx.R(tmp64))
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				b.Mad(ptx.F16X2, acc[r*4+c], ptx.R(a2[r]), ptx.R(bReg[c]), ptx.R(acc[r*4+c]))
+			}
+		}
+	}
+	b.Bar()
+	b.Add(ptx.U64, aCopy, ptx.R(aCopy), ptx.Imm(16*2))
+	b.Add(ptx.U64, bCopy, ptx.R(bCopy), ptx.Imm(uint64(16*n*2)))
+	b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	b.Setp(ptx.U32, ptx.CmpLT, pr, ptx.R(i), ptx.Imm(uint64(k/16)))
+	b.BraIf(pr, false, "ktop")
+
+	// Epilogue: 8 halves per row = one 128-bit access.
+	dRow, dOff, cAddr, dAddr := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	for r := 0; r < 4; r++ {
+		b.Mad(ptx.U32, dRow, ptx.R(ty), ptx.Imm(4), ptx.R(rowBase))
+		b.Add(ptx.U32, dRow, ptx.R(dRow), ptx.Imm(uint64(r)))
+		b.Mul(ptx.U32, dOff, ptx.R(dRow), ptx.Imm(uint64(n)))
+		b.Add(ptx.U32, dOff, ptx.R(dOff), ptx.R(colBase))
+		b.Mad(ptx.U32, dOff, ptx.R(tx), ptx.Imm(8), ptx.R(dOff))
+		b.MulWide(cAddr, ptx.R(dOff), ptx.Imm(2))
+		b.Add(ptx.U64, dAddr, ptx.R(cAddr), ptx.R(pd))
+		b.Add(ptx.U64, cAddr, ptx.R(cAddr), ptx.R(pc))
+		b.Ld(ptx.Global, 128, cp4, ptx.R(cAddr))
+		for c := 0; c < 4; c++ {
+			b.Add(ptx.F16X2, acc[r*4+c], ptx.R(acc[r*4+c]), ptx.R(cp4[c]))
+		}
+		b.St(ptx.Global, 128, ptx.R(dAddr), []ptx.Operand{
+			ptx.R(acc[r*4]), ptx.R(acc[r*4+1]), ptx.R(acc[r*4+2]), ptx.R(acc[r*4+3])})
+	}
+	b.Exit()
+
+	kern, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Launch{
+		Kernel:   kern,
+		Grid:     ptx.D2(n/128, m/64),
+		Block:    ptx.D1(256),
+		ArgNames: []string{"a", "b", "c", "d"},
+		FLOPs:    gemmFLOPs(m, n, k),
+	}, nil
+}

@@ -1,0 +1,275 @@
+// Package kernels generates the PTX-subset kernels the paper's evaluation
+// runs: WMMA-based GEMMs with and without shared-memory staging (Figures
+// 14a, 15, 16), SIMT SGEMM/HGEMM baselines that use the FP32/FP16 cores
+// instead of the tensor cores (the cuBLAS-without-TC series of Figure 17),
+// a maximum-throughput HMMA stress kernel (the "MAX PERF KERNEL"), and the
+// microbenchmark kernels of Figures 4 and 6.
+//
+// Kernel generators bake the problem size into the instruction stream —
+// the moral equivalent of CUTLASS template instantiation — so the kernels
+// contain no runtime division for tile indexing.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/ptx"
+	"repro/internal/tcore"
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+// Launch bundles a generated kernel with its launch geometry. Args are
+// device base addresses in the order named by ArgNames.
+type Launch struct {
+	Kernel   *ptx.Kernel
+	Grid     ptx.Dim3
+	Block    ptx.Dim3
+	ArgNames []string
+	// FLOPs is the floating-point work of one launch (2·M·N·K for GEMM),
+	// used to convert simulated cycles into TFLOPS.
+	FLOPs float64
+}
+
+// GemmPrecision selects the datapath of a generated GEMM.
+type GemmPrecision int
+
+const (
+	// TensorMixed uses tensor cores with FP32 accumulation.
+	TensorMixed GemmPrecision = iota
+	// TensorFP16 uses tensor cores with FP16 accumulation.
+	TensorFP16
+	// SimtFP32 uses the FP32 SIMT cores (SGEMM).
+	SimtFP32
+	// SimtFP16 uses packed-half SIMT math (HGEMM).
+	SimtFP16
+)
+
+func (p GemmPrecision) String() string {
+	switch p {
+	case TensorMixed:
+		return "tc-fp32acc"
+	case TensorFP16:
+		return "tc-fp16acc"
+	case SimtFP32:
+		return "simt-fp32"
+	default:
+		return "simt-fp16"
+	}
+}
+
+// voltaGemmConfig returns the wmma configuration a tensor-core GEMM uses.
+func voltaGemmConfig(p GemmPrecision) wmma.Config {
+	ct := wmma.F32
+	if p == TensorFP16 {
+		ct = wmma.F16
+	}
+	return wmma.Config{
+		Arch: wmma.Volta, Shape: wmma.M16N16K16,
+		ALayout: tensor.RowMajor, BLayout: tensor.RowMajor,
+		AType: wmma.F16, CType: ct, DType: ct,
+	}
+}
+
+func checkDims(m, n, k, tile int) error {
+	if m%tile != 0 || n%tile != 0 || k%16 != 0 {
+		return fmt.Errorf("kernels: %dx%dx%d not divisible by tile %d (K by 16)", m, n, k, tile)
+	}
+	return nil
+}
+
+// gemmFLOPs returns 2·M·N·K.
+func gemmFLOPs(m, n, k int) float64 { return 2 * float64(m) * float64(n) * float64(k) }
+
+// cBytes returns the element size of the C/D matrices for a precision.
+func cBytes(p GemmPrecision) uint64 {
+	if p == TensorMixed || p == SimtFP32 {
+		return 4
+	}
+	return 2
+}
+
+// WMMAGemmNaive builds the no-shared-memory WMMA GEMM: one warp per CTA
+// computes one 16×16 tile of D = A×B + C, loading A and B tiles straight
+// from global memory each K step. A, B, C and D are row-major; A is M×K,
+// B is K×N. This is the "w/o shared" series of Figure 16.
+func WMMAGemmNaive(p GemmPrecision, m, n, k int) (*Launch, error) {
+	if p != TensorMixed && p != TensorFP16 {
+		return nil, fmt.Errorf("kernels: WMMAGemmNaive needs a tensor precision, got %v", p)
+	}
+	if err := checkDims(m, n, k, 16); err != nil {
+		return nil, err
+	}
+	cfg := voltaGemmConfig(p)
+	b := ptx.NewBuilder(fmt.Sprintf("wmma_gemm_naive_%s_%d_%d_%d", tcore.ModeFor(cfg), m, n, k))
+	pa := b.Param("a", ptx.U64)
+	pb := b.Param("b", ptx.U64)
+	pc := b.Param("c", ptx.U64)
+	pd := b.Param("d", ptx.U64)
+
+	rowBase, colBase := b.Reg(), b.Reg()
+	b.Mul(ptx.U32, rowBase, ptx.SR(ptx.SRegCtaIDY), ptx.Imm(16))
+	b.Mul(ptx.U32, colBase, ptx.SR(ptx.SRegCtaIDX), ptx.Imm(16))
+
+	// C/D tile offset: rowBase*N + colBase elements, row-major.
+	cOff, cAddr := b.Reg(), b.Reg()
+	b.Mad(ptx.U32, cOff, ptx.R(rowBase), ptx.Imm(uint64(n)), ptx.R(colBase))
+	b.MulWide(cAddr, ptx.R(cOff), ptx.Imm(cBytes(p)))
+	b.Add(ptx.U64, cAddr, ptx.R(cAddr), ptx.R(pc))
+	fc := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixC, tensor.RowMajor, cfg.CType, ptx.R(cAddr), ptx.Imm(uint64(n)))
+
+	// A walks right along a row block; B walks down a column block.
+	aCur, bCur := b.Reg(), b.Reg()
+	b.MulWide(aCur, ptx.R(rowBase), ptx.Imm(uint64(k)*2))
+	b.Add(ptx.U64, aCur, ptx.R(aCur), ptx.R(pa))
+	b.MulWide(bCur, ptx.R(colBase), ptx.Imm(2))
+	b.Add(ptx.U64, bCur, ptx.R(bCur), ptx.R(pb))
+
+	i, pr := b.Reg(), b.Reg()
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	b.Label("ktop")
+	fa := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixA, cfg.ALayout, cfg.AType, ptx.R(aCur), ptx.Imm(uint64(k)))
+	fb := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixB, cfg.BLayout, cfg.AType, ptx.R(bCur), ptx.Imm(uint64(n)))
+	fc = b.WmmaMMA(cfg, fa, fb, fc)
+	b.Add(ptx.U64, aCur, ptx.R(aCur), ptx.Imm(16*2))
+	b.Add(ptx.U64, bCur, ptx.R(bCur), ptx.Imm(uint64(16*n*2)))
+	b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	b.Setp(ptx.U32, ptx.CmpLT, pr, ptx.R(i), ptx.Imm(uint64(k/16)))
+	b.BraIf(pr, false, "ktop")
+
+	dAddr := b.Reg()
+	b.MulWide(dAddr, ptx.R(cOff), ptx.Imm(cBytes(p)))
+	b.Add(ptx.U64, dAddr, ptx.R(dAddr), ptx.R(pd))
+	b.WmmaStore(cfg.Arch, cfg.Shape, tensor.RowMajor, cfg.DType, ptx.R(dAddr), fc, ptx.Imm(uint64(n)))
+	b.Exit()
+
+	kern, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Launch{
+		Kernel:   kern,
+		Grid:     ptx.D2(n/16, m/16),
+		Block:    ptx.D1(32),
+		ArgNames: []string{"a", "b", "c", "d"},
+		FLOPs:    gemmFLOPs(m, n, k),
+	}, nil
+}
+
+// WMMAGemmShared builds the shared-memory WMMA GEMM of the paper's
+// Figures 14a/15/16: each CTA of four warps computes a 32×32 block of D,
+// staging 32×16 A and 16×32 B panels in shared memory every K step so the
+// wmma.loads hit shared memory instead of global.
+func WMMAGemmShared(p GemmPrecision, m, n, k int) (*Launch, error) {
+	if p != TensorMixed && p != TensorFP16 {
+		return nil, fmt.Errorf("kernels: WMMAGemmShared needs a tensor precision, got %v", p)
+	}
+	if err := checkDims(m, n, k, 32); err != nil {
+		return nil, err
+	}
+	cfg := voltaGemmConfig(p)
+	b := ptx.NewBuilder(fmt.Sprintf("wmma_gemm_shared_%s_%d_%d_%d", tcore.ModeFor(cfg), m, n, k))
+	pa := b.Param("a", ptx.U64)
+	pb := b.Param("b", ptx.U64)
+	pc := b.Param("c", ptx.U64)
+	pd := b.Param("d", ptx.U64)
+
+	smemA := b.Shared(32 * 16 * 2)
+	smemB := b.Shared(16 * 32 * 2)
+
+	rowBase, colBase := b.Reg(), b.Reg()
+	b.Mul(ptx.U32, rowBase, ptx.SR(ptx.SRegCtaIDY), ptx.Imm(32))
+	b.Mul(ptx.U32, colBase, ptx.SR(ptx.SRegCtaIDX), ptx.Imm(32))
+
+	// Warp tile position: warps 0..3 arranged 2×2.
+	wid, wRow, wCol := b.Reg(), b.Reg(), b.Reg()
+	b.Mov(ptx.U32, wid, ptx.SR(ptx.SRegWarpID))
+	b.Shr(ptx.U32, wRow, ptx.R(wid), ptx.Imm(1))
+	b.And(ptx.U32, wCol, ptx.R(wid), ptx.Imm(1))
+
+	// Accumulator: C tile at (rowBase + 16·wRow, colBase + 16·wCol).
+	cRow, cCol, cOff, cAddr := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Mad(ptx.U32, cRow, ptx.R(wRow), ptx.Imm(16), ptx.R(rowBase))
+	b.Mad(ptx.U32, cCol, ptx.R(wCol), ptx.Imm(16), ptx.R(colBase))
+	b.Mad(ptx.U32, cOff, ptx.R(cRow), ptx.Imm(uint64(n)), ptx.R(cCol))
+	b.MulWide(cAddr, ptx.R(cOff), ptx.Imm(cBytes(p)))
+	b.Add(ptx.U64, cAddr, ptx.R(cAddr), ptx.R(pc))
+	fc := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixC, tensor.RowMajor, cfg.CType, ptx.R(cAddr), ptx.Imm(uint64(n)))
+
+	// Cooperative copy indexing: 128 threads move 4 halves each.
+	tid, elem := b.Reg(), b.Reg()
+	b.Mov(ptx.U32, tid, ptx.SR(ptx.SRegTidX))
+	b.Mul(ptx.U32, elem, ptx.R(tid), ptx.Imm(4))
+	aRow, aCol := b.Reg(), b.Reg()
+	b.Shr(ptx.U32, aRow, ptx.R(elem), ptx.Imm(4))
+	b.And(ptx.U32, aCol, ptx.R(elem), ptx.Imm(15))
+	bRow, bCol := b.Reg(), b.Reg()
+	b.Shr(ptx.U32, bRow, ptx.R(elem), ptx.Imm(5))
+	b.And(ptx.U32, bCol, ptx.R(elem), ptx.Imm(31))
+
+	// Global copy cursors (advance per K step).
+	aCopy, tmp32, tmp64 := b.Reg(), b.Reg(), b.Reg()
+	b.Add(ptx.U32, tmp32, ptx.R(rowBase), ptx.R(aRow))
+	b.Mul(ptx.U32, tmp32, ptx.R(tmp32), ptx.Imm(uint64(k)))
+	b.Add(ptx.U32, tmp32, ptx.R(tmp32), ptx.R(aCol))
+	b.MulWide(aCopy, ptx.R(tmp32), ptx.Imm(2))
+	b.Add(ptx.U64, aCopy, ptx.R(aCopy), ptx.R(pa))
+
+	bCopy := b.Reg()
+	b.Mul(ptx.U32, tmp32, ptx.R(bRow), ptx.Imm(uint64(n)))
+	b.Add(ptx.U32, tmp32, ptx.R(tmp32), ptx.R(colBase))
+	b.Add(ptx.U32, tmp32, ptx.R(tmp32), ptx.R(bCol))
+	b.MulWide(bCopy, ptx.R(tmp32), ptx.Imm(2))
+	b.Add(ptx.U64, bCopy, ptx.R(bCopy), ptx.R(pb))
+
+	// Shared destinations (fixed).
+	aDst, bDst := b.Reg(), b.Reg()
+	b.MulWide(tmp64, ptx.R(elem), ptx.Imm(2))
+	b.Add(ptx.U64, aDst, ptx.R(tmp64), ptx.Imm(smemA))
+	b.Add(ptx.U64, bDst, ptx.R(tmp64), ptx.Imm(smemB))
+
+	// Warp compute sources in shared.
+	saAddr, sbAddr := b.Reg(), b.Reg()
+	b.MulWide(saAddr, ptx.R(wRow), ptx.Imm(16*16*2))
+	b.Add(ptx.U64, saAddr, ptx.R(saAddr), ptx.Imm(smemA))
+	b.MulWide(sbAddr, ptx.R(wCol), ptx.Imm(16*2))
+	b.Add(ptx.U64, sbAddr, ptx.R(sbAddr), ptx.Imm(smemB))
+
+	i, pr := b.Reg(), b.Reg()
+	cp := b.Regs(2)
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	b.Label("ktop")
+	// Stage A and B panels.
+	b.Ld(ptx.Global, 64, cp, ptx.R(aCopy))
+	b.St(ptx.Shared, 64, ptx.R(aDst), []ptx.Operand{ptx.R(cp[0]), ptx.R(cp[1])})
+	b.Ld(ptx.Global, 64, cp, ptx.R(bCopy))
+	b.St(ptx.Shared, 64, ptx.R(bDst), []ptx.Operand{ptx.R(cp[0]), ptx.R(cp[1])})
+	b.Bar()
+	fa := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixA, tensor.RowMajor, cfg.AType, ptx.R(saAddr), ptx.Imm(16))
+	fb := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixB, tensor.RowMajor, cfg.AType, ptx.R(sbAddr), ptx.Imm(32))
+	fc = b.WmmaMMA(cfg, fa, fb, fc)
+	b.Bar()
+	b.Add(ptx.U64, aCopy, ptx.R(aCopy), ptx.Imm(16*2))
+	b.Add(ptx.U64, bCopy, ptx.R(bCopy), ptx.Imm(uint64(16*n*2)))
+	b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	b.Setp(ptx.U32, ptx.CmpLT, pr, ptx.R(i), ptx.Imm(uint64(k/16)))
+	b.BraIf(pr, false, "ktop")
+
+	dAddr := b.Reg()
+	b.MulWide(dAddr, ptx.R(cOff), ptx.Imm(cBytes(p)))
+	b.Add(ptx.U64, dAddr, ptx.R(dAddr), ptx.R(pd))
+	b.WmmaStore(cfg.Arch, cfg.Shape, tensor.RowMajor, cfg.DType, ptx.R(dAddr), fc, ptx.Imm(uint64(n)))
+	b.Exit()
+
+	kern, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Launch{
+		Kernel:   kern,
+		Grid:     ptx.D2(n/32, m/32),
+		Block:    ptx.D1(128),
+		ArgNames: []string{"a", "b", "c", "d"},
+		FLOPs:    gemmFLOPs(m, n, k),
+	}, nil
+}

@@ -1,0 +1,159 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/ptx"
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+// Microbenchmark and stress kernels.
+
+// MMALoop builds the Figure 12c microbenchmark: every warp loads
+// fragments once and then issues `iters` rounds of `chains` independent
+// wmma.mma operations. With chains ≥ 2 the kernel is tensor-unit
+// throughput bound rather than dependency bound.
+//
+// Args: one device pointer to a ≥1 KiB scratch region.
+func MMALoop(p GemmPrecision, warps, iters, chains int) (*Launch, error) {
+	if p != TensorMixed && p != TensorFP16 {
+		return nil, fmt.Errorf("kernels: MMALoop needs a tensor precision")
+	}
+	if chains < 1 {
+		return nil, fmt.Errorf("kernels: need at least one mma chain")
+	}
+	cfg := voltaGemmConfig(p)
+	b := ptx.NewBuilder(fmt.Sprintf("mma_loop_%s_w%d_i%d_c%d", p, warps, iters, chains))
+	pa := b.Param("a", ptx.U64)
+	fa := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixA, cfg.ALayout, cfg.AType, ptx.R(pa), ptx.Imm(16))
+	fb := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixB, cfg.BLayout, cfg.AType, ptx.R(pa), ptx.Imm(16))
+	accs := make([][]ptx.Reg, chains)
+	for c := range accs {
+		accs[c] = b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixC, tensor.RowMajor, cfg.CType, ptx.R(pa), ptx.Imm(16))
+	}
+	i, pr := b.Reg(), b.Reg()
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	b.Label("loop")
+	for c := range accs {
+		accs[c] = b.WmmaMMA(cfg, fa, fb, accs[c])
+	}
+	b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	b.Setp(ptx.U32, ptx.CmpLT, pr, ptx.R(i), ptx.Imm(uint64(iters)))
+	b.BraIf(pr, false, "loop")
+	b.Exit()
+	kern, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	mmaFLOPs := 2 * float64(cfg.Shape.M*cfg.Shape.N*cfg.Shape.K)
+	return &Launch{
+		Kernel:   kern,
+		Grid:     ptx.D1(1),
+		Block:    ptx.D1(32 * warps),
+		ArgNames: []string{"scratch"},
+		FLOPs:    float64(warps*iters*chains) * mmaFLOPs,
+	}, nil
+}
+
+// MaxPerf builds the paper's "MAX PERF KERNEL": a grid of CTAs whose
+// warps do nothing but issue independent wmma.mma operations, measuring
+// the sustainable tensor-core throughput (Section V-C reports 109.6
+// TFLOPS in FP16 mode and 108.7 in mixed precision against the 125
+// theoretical peak).
+func MaxPerf(p GemmPrecision, ctas, warpsPerCTA, iters int) (*Launch, error) {
+	l, err := MMALoop(p, warpsPerCTA, iters, 2)
+	if err != nil {
+		return nil, err
+	}
+	l.Grid = ptx.D1(ctas)
+	l.FLOPs *= float64(ctas)
+	return l, nil
+}
+
+// ClockedMMA builds the Figure 6 microbenchmark at PTX level: read
+// %clock, run n dependent wmma.mma operations, read %clock again, and
+// store the delta to out[warpLinearId].
+//
+// Args: scratch (fragment source), out (u32 per warp).
+func ClockedMMA(p GemmPrecision, n int) (*Launch, error) {
+	cfg := voltaGemmConfig(p)
+	b := ptx.NewBuilder(fmt.Sprintf("clocked_mma_%s_n%d", p, n))
+	pa := b.Param("scratch", ptx.U64)
+	pout := b.Param("out", ptx.U64)
+	fa := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixA, cfg.ALayout, cfg.AType, ptx.R(pa), ptx.Imm(16))
+	fb := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixB, cfg.BLayout, cfg.AType, ptx.R(pa), ptx.Imm(16))
+	fc := b.WmmaLoad(cfg.Arch, cfg.Shape, wmma.MatrixC, tensor.RowMajor, cfg.CType, ptx.R(pa), ptx.Imm(16))
+	c0, c1 := b.Reg(), b.Reg()
+	b.Clock(c0)
+	for j := 0; j < n; j++ {
+		fc = b.WmmaMMA(cfg, fa, fb, fc)
+	}
+	b.Clock(c1)
+	d, addr := b.Reg(), b.Reg()
+	b.Sub(ptx.U32, d, ptx.R(c1), ptx.R(c0))
+	b.MulWide(addr, ptx.SR(ptx.SRegWarpID), ptx.Imm(4))
+	b.Add(ptx.U64, addr, ptx.R(addr), ptx.R(pout))
+	b.St(ptx.Global, 32, ptx.R(addr), []ptx.Operand{ptx.R(d)})
+	b.Exit()
+	kern, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Launch{
+		Kernel:   kern,
+		Grid:     ptx.D1(1),
+		Block:    ptx.D1(32),
+		ArgNames: []string{"scratch", "out"},
+	}, nil
+}
+
+// FragmentDecode builds the Figure 4 microbenchmark: each thread loads
+// its fragment of the given operand and stores every element, as FP32, to
+// out[lane*fragLen + slot]. Running it against a matrix filled with
+// distinct values decodes the fragment-to-thread mapping, exactly as the
+// paper's CUDA version did.
+//
+// Args: in (operand matrix), out (f32 array of 32×fragLen).
+func FragmentDecode(arch wmma.Arch, shape wmma.Shape, op wmma.Operand,
+	layout tensor.Layout, elem wmma.Precision) (*Launch, error) {
+	if _, err := wmma.Map(arch, shape, op, layout, elem); err != nil {
+		return nil, err
+	}
+	rows, cols := shape.Dims(op)
+	ld := cols
+	if layout == tensor.ColMajor {
+		ld = rows
+	}
+	b := ptx.NewBuilder(fmt.Sprintf("frag_decode_%v_%v_%v", arch, shape, op))
+	pin := b.Param("in", ptx.U64)
+	pout := b.Param("out", ptx.U64)
+	frag := b.WmmaLoad(arch, shape, op, layout, elem, ptx.R(pin), ptx.Imm(uint64(ld)))
+	base, f32 := b.Reg(), b.Reg()
+	b.MulWide(base, ptx.SR(ptx.SRegLaneID), ptx.Imm(uint64(4*len(frag))))
+	b.Add(ptx.U64, base, ptx.R(base), ptx.R(pout))
+	for slot, r := range frag {
+		switch elem {
+		case wmma.F16:
+			b.Cvt(ptx.F32, ptx.F16, f32, ptx.R(r))
+		case wmma.F32:
+			b.Mov(ptx.F32, f32, ptx.R(r))
+		default:
+			b.Cvt(ptx.F32, ptx.S32, f32, ptx.R(r))
+		}
+		addr := b.Reg()
+		b.Add(ptx.U64, addr, ptx.R(base), ptx.Imm(uint64(4*slot)))
+		b.St(ptx.Global, 32, ptx.R(addr), []ptx.Operand{ptx.R(f32)})
+	}
+	b.Exit()
+	kern, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Launch{
+		Kernel:   kern,
+		Grid:     ptx.D1(1),
+		Block:    ptx.D1(32),
+		ArgNames: []string{"in", "out"},
+	}, nil
+}

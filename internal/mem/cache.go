@@ -1,0 +1,115 @@
+package mem
+
+// Cache is a sectored set-associative cache with LRU replacement. Tags are
+// tracked per line; validity per 32-byte sector within the line, matching
+// Volta's sectored caches. Lookups fill immediately (latency is charged by
+// the caller), so the model captures hit rates and bandwidth, not MSHR
+// protocol detail.
+type Cache struct {
+	lineBytes   int
+	sectorBytes int
+	ways        int
+	nSets       uint64
+	sets        []cacheSet
+	tick        uint64
+
+	Hits, Misses uint64
+}
+
+type cacheSet struct {
+	lines []cacheLine
+}
+
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	sectors uint32 // bitmask of valid sectors
+	lastUse uint64
+}
+
+// NewCache builds a cache of size bytes with the given line size,
+// associativity and sector granularity.
+func NewCache(size, lineBytes, ways, sectorBytes int) *Cache {
+	nSets := size / (lineBytes * ways)
+	if nSets < 1 {
+		nSets = 1
+	}
+	c := &Cache{
+		lineBytes:   lineBytes,
+		sectorBytes: sectorBytes,
+		ways:        ways,
+		nSets:       uint64(nSets),
+		sets:        make([]cacheSet, nSets),
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]cacheLine, ways)
+	}
+	return c
+}
+
+// Access looks up the sector containing addr, filling it on a miss, and
+// reports whether it hit. Stores allocate too (write-allocate), keeping
+// the model simple and symmetric.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	lineAddr := addr / uint64(c.lineBytes)
+	set := &c.sets[lineAddr%c.nSets]
+	tag := lineAddr / c.nSets
+	sector := uint32(1) << ((addr % uint64(c.lineBytes)) / uint64(c.sectorBytes))
+
+	for i := range set.lines {
+		l := &set.lines[i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.tick
+			if l.sectors&sector != 0 {
+				c.Hits++
+				return true
+			}
+			l.sectors |= sector // sector miss within a present line
+			c.Misses++
+			return false
+		}
+	}
+	// Miss without a matching line: fill an invalid way, else evict LRU.
+	victim := &set.lines[0]
+	for i := range set.lines {
+		l := &set.lines[i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.lastUse < victim.lastUse {
+			victim = l
+		}
+	}
+	victim.valid = true
+	victim.tag = tag
+	victim.sectors = sector
+	victim.lastUse = c.tick
+	c.Misses++
+	return false
+}
+
+// Invalidate drops the line containing addr if present (used for
+// write-evict policies).
+func (c *Cache) Invalidate(addr uint64) {
+	lineAddr := addr / uint64(c.lineBytes)
+	set := &c.sets[lineAddr%c.nSets]
+	tag := lineAddr / c.nSets
+	for i := range set.lines {
+		if set.lines[i].valid && set.lines[i].tag == tag {
+			set.lines[i].valid = false
+			set.lines[i].sectors = 0
+			return
+		}
+	}
+}
+
+// HitRate returns hits / (hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(t)
+}

@@ -1,0 +1,119 @@
+// Package mem models the GPU memory system the paper's GPGPU-Sim
+// extension runs against: per-lane access coalescing into 32-byte sectors,
+// a sectored per-SM L1 cache, a banked chip-wide L2, a bandwidth-limited
+// DRAM (HBM2 on the Titan V), and the 32-bank shared memory with conflict
+// serialization. The model is latency/bandwidth-accurate rather than
+// protocol-accurate: caches fill instantly on miss and contention appears
+// as queueing delay on the L2 banks and DRAM channels, which is the level
+// of detail the paper's experiments exercise (Figures 14–17).
+package mem
+
+// Request is one lane's memory access as the coalescer sees it.
+type Request struct {
+	Addr  uint64
+	Bits  int
+	Store bool
+}
+
+// Config sets the hierarchy's geometry and timing. Defaults follow the
+// Titan V numbers the paper and its companion characterization (Jia et
+// al.) report.
+type Config struct {
+	SectorBytes int // coalescing and cache-fill granularity
+
+	L1SizeBytes   int
+	L1LineBytes   int
+	L1Ways        int
+	L1HitLatency  int
+	SharedLatency int
+	SharedBanks   int
+	BankWidth     int // bytes per shared-memory bank word
+
+	L2SizeBytes  int
+	L2LineBytes  int
+	L2Ways       int
+	L2HitLatency int
+	L2Banks      int
+	// L2BytesPerCycle is the per-bank service bandwidth.
+	L2BytesPerCycle int
+
+	DRAMLatency int
+	// DRAMBytesPerCycle is the aggregate DRAM bandwidth per core cycle:
+	// 652.8 GB/s at 1.53 GHz ≈ 427 B/cycle for the whole chip.
+	DRAMBytesPerCycle int
+	DRAMChannels      int
+}
+
+// TitanV returns the Volta-class default configuration.
+func TitanV() Config {
+	return Config{
+		SectorBytes:       32,
+		L1SizeBytes:       128 << 10,
+		L1LineBytes:       128,
+		L1Ways:            4,
+		L1HitLatency:      28,
+		SharedLatency:     19,
+		SharedBanks:       32,
+		BankWidth:         4,
+		L2SizeBytes:       4608 << 10,
+		L2LineBytes:       128,
+		L2Ways:            16,
+		L2HitLatency:      193,
+		L2Banks:           32,
+		L2BytesPerCycle:   32,
+		DRAMLatency:       290,
+		DRAMBytesPerCycle: 427,
+		DRAMChannels:      24,
+	}
+}
+
+// Coalesce merges the per-lane requests of one warp instruction into the
+// distinct memory sectors they touch, in first-touch order — the number of
+// memory transactions the instruction generates. Requests wider than a
+// sector span several sectors.
+func Coalesce(cfg Config, reqs []Request) []uint64 {
+	sec := uint64(cfg.SectorBytes)
+	seen := make(map[uint64]bool, len(reqs))
+	var out []uint64
+	for _, r := range reqs {
+		bytes := uint64(r.Bits+7) / 8
+		if bytes == 0 {
+			bytes = 1
+		}
+		first := r.Addr / sec
+		last := (r.Addr + bytes - 1) / sec
+		for s := first; s <= last; s++ {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s*sec)
+			}
+		}
+	}
+	return out
+}
+
+// SharedConflictPasses returns how many serialized passes the shared
+// memory needs for one warp access: the maximum, over banks, of distinct
+// bank words addressed (identical words broadcast in one pass).
+func SharedConflictPasses(cfg Config, reqs []Request) int {
+	banks := make([]map[uint64]bool, cfg.SharedBanks)
+	passes := 0
+	for _, r := range reqs {
+		bytes := uint64(r.Bits+7) / 8
+		for off := uint64(0); off < bytes; off += uint64(cfg.BankWidth) {
+			word := (r.Addr + off) / uint64(cfg.BankWidth)
+			b := int(word % uint64(cfg.SharedBanks))
+			if banks[b] == nil {
+				banks[b] = make(map[uint64]bool)
+			}
+			banks[b][word] = true
+			if len(banks[b]) > passes {
+				passes = len(banks[b])
+			}
+		}
+	}
+	if passes == 0 {
+		passes = 1
+	}
+	return passes
+}

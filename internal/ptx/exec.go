@@ -1,0 +1,679 @@
+package ptx
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fp16"
+)
+
+// Memory is the byte-addressable global store the executor reads and
+// writes; internal/cuda provides the device-memory implementation.
+type Memory interface {
+	Read(addr uint64, buf []byte)
+	Write(addr uint64, data []byte)
+}
+
+// Dim3 is a CUDA-style 3-component dimension.
+type Dim3 struct{ X, Y, Z int }
+
+// D1 builds a 1-D Dim3.
+func D1(x int) Dim3 { return Dim3{x, 1, 1} }
+
+// D2 builds a 2-D Dim3.
+func D2(x, y int) Dim3 { return Dim3{x, y, 1} }
+
+// Count returns the number of threads/blocks the dimension spans.
+func (d Dim3) Count() int { return d.X * d.Y * d.Z }
+
+// Env is the execution environment of one CTA: the memories it can reach
+// and its position in the grid. Clock supplies the value of %clock; the
+// timing simulator wires it to the SM cycle counter, and functional runs
+// use a step counter.
+type Env struct {
+	Global   Memory
+	Shared   []byte
+	Clock    func() uint64
+	GridDim  Dim3
+	BlockDim Dim3
+	CtaID    Dim3
+}
+
+// resolveSpace maps a generic address onto the shared window or global
+// memory, like PTX generic addressing.
+func (e *Env) resolveSpace(space Space, addr uint64) (Space, uint64) {
+	if space == Shared {
+		// Accept both window-relative offsets and generic addresses
+		// (Builder.Shared hands out the latter).
+		if addr >= SharedBase {
+			addr -= SharedBase
+		}
+		return Shared, addr
+	}
+	if space == Generic && addr >= SharedBase && addr < SharedBase+uint64(len(e.Shared)) {
+		return Shared, addr - SharedBase
+	}
+	if space == Generic {
+		return Global, addr
+	}
+	return Global, addr
+}
+
+func (e *Env) read(space Space, addr uint64, buf []byte) {
+	sp, a := e.resolveSpace(space, addr)
+	if sp == Shared {
+		copy(buf, e.Shared[a:a+uint64(len(buf))])
+		return
+	}
+	e.Global.Read(a, buf)
+}
+
+func (e *Env) write(space Space, addr uint64, data []byte) {
+	sp, a := e.resolveSpace(space, addr)
+	if sp == Shared {
+		copy(e.Shared[a:a+uint64(len(data))], data)
+		return
+	}
+	e.Global.Write(a, data)
+}
+
+// Access is one memory access performed by an executed instruction, as the
+// timing model's coalescer sees it.
+type Access struct {
+	Lane  int
+	Addr  uint64 // post-resolution address (shared offsets are window-relative)
+	Bits  int
+	Space Space // Global or Shared after generic resolution
+	Store bool
+}
+
+// Result reports the architectural effects of one executed instruction
+// that the timing model needs.
+type Result struct {
+	Instr    *Instr
+	Accesses []Access
+	Barrier  bool
+	Exited   bool
+}
+
+// Warp executes one warp of a CTA instruction by instruction.
+type Warp struct {
+	Kernel *Kernel
+	Env    *Env
+	ID     int // warp index within the CTA
+	PC     int
+	Exited bool
+	// AtBarrier is set when the warp executed bar.sync and is waiting for
+	// the rest of the CTA; the CTA driver clears it.
+	AtBarrier bool
+	Active    [32]bool
+	nLanes    int
+	regs      []uint64 // [lane*NumRegs + reg]
+}
+
+// NewWarp builds warp id of a CTA, loading kernel arguments into the
+// parameter registers of every lane. args must match the kernel's
+// parameter list.
+func NewWarp(k *Kernel, env *Env, id int, args []uint64) (*Warp, error) {
+	if len(args) != len(k.Params) {
+		return nil, fmt.Errorf("ptx: kernel %s takes %d args, got %d", k.Name, len(k.Params), len(args))
+	}
+	w := &Warp{Kernel: k, Env: env, ID: id}
+	w.regs = make([]uint64, 32*k.NumRegs)
+	nThreads := env.BlockDim.Count()
+	for lane := 0; lane < 32; lane++ {
+		linear := id*32 + lane
+		if linear >= nThreads {
+			continue
+		}
+		w.Active[lane] = true
+		w.nLanes++
+		for i, r := range k.ParamRegs {
+			w.regs[lane*k.NumRegs+r.ID] = args[i]
+		}
+	}
+	if w.nLanes == 0 {
+		w.Exited = true
+	}
+	return w, nil
+}
+
+func (w *Warp) reg(lane int, r Reg) uint64       { return w.regs[lane*w.Kernel.NumRegs+r.ID] }
+func (w *Warp) setReg(lane int, r Reg, v uint64) { w.regs[lane*w.Kernel.NumRegs+r.ID] = v }
+
+// tid returns the 3-D thread index of a lane.
+func (w *Warp) tid(lane int) Dim3 {
+	linear := w.ID*32 + lane
+	bd := w.Env.BlockDim
+	return Dim3{
+		X: linear % bd.X,
+		Y: (linear / bd.X) % bd.Y,
+		Z: linear / (bd.X * bd.Y),
+	}
+}
+
+func (w *Warp) sreg(lane int, s SReg) uint64 {
+	e := w.Env
+	switch s {
+	case SRegTidX:
+		return uint64(w.tid(lane).X)
+	case SRegTidY:
+		return uint64(w.tid(lane).Y)
+	case SRegTidZ:
+		return uint64(w.tid(lane).Z)
+	case SRegNTidX:
+		return uint64(e.BlockDim.X)
+	case SRegNTidY:
+		return uint64(e.BlockDim.Y)
+	case SRegNTidZ:
+		return uint64(e.BlockDim.Z)
+	case SRegCtaIDX:
+		return uint64(e.CtaID.X)
+	case SRegCtaIDY:
+		return uint64(e.CtaID.Y)
+	case SRegCtaIDZ:
+		return uint64(e.CtaID.Z)
+	case SRegNCtaIDX:
+		return uint64(e.GridDim.X)
+	case SRegNCtaIDY:
+		return uint64(e.GridDim.Y)
+	case SRegNCtaIDZ:
+		return uint64(e.GridDim.Z)
+	case SRegLaneID:
+		return uint64(lane)
+	case SRegWarpID:
+		return uint64(w.ID)
+	case SRegClock:
+		return w.Env.Clock()
+	}
+	return 0
+}
+
+func (w *Warp) operand(lane int, o Operand) uint64 {
+	switch o.Kind {
+	case OperandReg:
+		return w.reg(lane, o.Reg)
+	case OperandImm:
+		return o.Imm
+	default:
+		return w.sreg(lane, o.SReg)
+	}
+}
+
+// laneEnabled reports whether the lane executes the instruction under its
+// guard predicate.
+func (w *Warp) laneEnabled(lane int, in *Instr) bool {
+	if !w.Active[lane] {
+		return false
+	}
+	if in.Pred == nil {
+		return true
+	}
+	p := w.reg(lane, *in.Pred) != 0
+	if in.PNeg {
+		return !p
+	}
+	return p
+}
+
+// Peek returns the instruction the warp will execute next, or nil if the
+// warp has exited.
+func (w *Warp) Peek() *Instr {
+	if w.Exited || w.PC >= len(w.Kernel.Instrs) {
+		return nil
+	}
+	return &w.Kernel.Instrs[w.PC]
+}
+
+// Step executes the next instruction and advances the PC. Branches must be
+// warp-uniform over enabled lanes (the kernels in this repository use
+// predication for per-lane conditionals); divergent branches are an error.
+func (w *Warp) Step() (Result, error) {
+	in := w.Peek()
+	if in == nil {
+		w.Exited = true
+		return Result{Exited: true}, nil
+	}
+	res := Result{Instr: in}
+
+	switch in.Op {
+	case OpBra:
+		taken, uniform := w.branchVote(in)
+		if !uniform {
+			return res, fmt.Errorf("ptx: divergent branch at %d in %s", w.PC, w.Kernel.Name)
+		}
+		if taken {
+			t, err := w.Kernel.TargetIndex(in.Target)
+			if err != nil {
+				return res, err
+			}
+			w.PC = t
+			return res, nil
+		}
+		w.PC++
+		return res, nil
+	case OpExit:
+		w.Exited = true
+		res.Exited = true
+		return res, nil
+	case OpBar:
+		w.AtBarrier = true
+		res.Barrier = true
+		w.PC++
+		return res, nil
+	case OpWmmaLoad:
+		if err := w.execWmmaLoad(in, &res); err != nil {
+			return res, err
+		}
+		w.PC++
+		return res, nil
+	case OpWmmaStore:
+		if err := w.execWmmaStore(in, &res); err != nil {
+			return res, err
+		}
+		w.PC++
+		return res, nil
+	case OpWmmaMMA:
+		if err := w.execWmmaMMA(in); err != nil {
+			return res, err
+		}
+		w.PC++
+		return res, nil
+	case OpLd:
+		w.execLoad(in, &res)
+		w.PC++
+		return res, nil
+	case OpSt:
+		w.execStore(in, &res)
+		w.PC++
+		return res, nil
+	}
+
+	for lane := 0; lane < 32; lane++ {
+		if !w.laneEnabled(lane, in) {
+			continue
+		}
+		if err := w.execALU(lane, in); err != nil {
+			return res, err
+		}
+	}
+	w.PC++
+	return res, nil
+}
+
+// branchVote evaluates the branch guard across enabled lanes.
+func (w *Warp) branchVote(in *Instr) (taken, uniform bool) {
+	if in.Pred == nil {
+		return true, true
+	}
+	first := true
+	for lane := 0; lane < 32; lane++ {
+		if !w.Active[lane] {
+			continue
+		}
+		p := w.reg(lane, *in.Pred) != 0
+		if in.PNeg {
+			p = !p
+		}
+		if first {
+			taken, first = p, false
+			continue
+		}
+		if p != taken {
+			return false, false
+		}
+	}
+	return taken, true
+}
+
+func (w *Warp) execLoad(in *Instr, res *Result) {
+	words := in.Width / 32
+	if words == 0 {
+		words = 1
+	}
+	buf := make([]byte, in.Width/8)
+	for lane := 0; lane < 32; lane++ {
+		if !w.laneEnabled(lane, in) {
+			continue
+		}
+		addr := w.operand(lane, in.Src[0])
+		sp, a := w.Env.resolveSpace(in.Space, addr)
+		res.Accesses = append(res.Accesses, Access{Lane: lane, Addr: a, Bits: in.Width, Space: sp})
+		w.Env.read(in.Space, addr, buf)
+		if in.Width == 16 {
+			w.setReg(lane, in.Dst[0], uint64(buf[0])|uint64(buf[1])<<8)
+			continue
+		}
+		for i := 0; i < words; i++ {
+			v := uint64(buf[4*i]) | uint64(buf[4*i+1])<<8 | uint64(buf[4*i+2])<<16 | uint64(buf[4*i+3])<<24
+			w.setReg(lane, in.Dst[i], v)
+		}
+	}
+}
+
+func (w *Warp) execStore(in *Instr, res *Result) {
+	words := in.Width / 32
+	if words == 0 {
+		words = 1
+	}
+	buf := make([]byte, in.Width/8)
+	for lane := 0; lane < 32; lane++ {
+		if !w.laneEnabled(lane, in) {
+			continue
+		}
+		addr := w.operand(lane, in.Src[0])
+		sp, a := w.Env.resolveSpace(in.Space, addr)
+		res.Accesses = append(res.Accesses, Access{Lane: lane, Addr: a, Bits: in.Width, Space: sp, Store: true})
+		if in.Width == 16 {
+			v := w.operand(lane, in.Src[1])
+			buf[0], buf[1] = byte(v), byte(v>>8)
+		} else {
+			for i := 0; i < words; i++ {
+				v := w.operand(lane, in.Src[1+i])
+				buf[4*i], buf[4*i+1], buf[4*i+2], buf[4*i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			}
+		}
+		w.Env.write(in.Space, addr, buf)
+	}
+}
+
+func (w *Warp) execALU(lane int, in *Instr) error {
+	get := func(i int) uint64 { return w.operand(lane, in.Src[i]) }
+	set := func(v uint64) { w.setReg(lane, in.Dst[0], v) }
+
+	switch in.Op {
+	case OpMov:
+		set(truncate(get(0), in.Type))
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpMin, OpMax:
+		v, err := arith(in.Op, in.Type, get(0), get(1))
+		if err != nil {
+			return err
+		}
+		set(v)
+	case OpMulWide:
+		set(uint64(uint32(get(0))) * uint64(uint32(get(1))))
+	case OpMad:
+		v, err := mad(in.Type, get(0), get(1), get(2))
+		if err != nil {
+			return err
+		}
+		set(v)
+	case OpAnd:
+		set(truncate(get(0)&get(1), in.Type))
+	case OpOr:
+		set(truncate(get(0)|get(1), in.Type))
+	case OpXor:
+		set(truncate(get(0)^get(1), in.Type))
+	case OpShl:
+		set(truncate(get(0)<<(get(1)&63), in.Type))
+	case OpShr:
+		if in.Type == S32 {
+			set(uint64(uint32(int32(uint32(get(0))) >> (get(1) & 31))))
+		} else {
+			set(truncate(get(0)>>(get(1)&63), in.Type))
+		}
+	case OpCvt:
+		v, err := convert(in.Type, in.SrcType, get(0))
+		if err != nil {
+			return err
+		}
+		set(v)
+	case OpSetp:
+		ok, err := compare(in.Type, in.Cmp, get(0), get(1))
+		if err != nil {
+			return err
+		}
+		if ok {
+			set(1)
+		} else {
+			set(0)
+		}
+	case OpSelp:
+		if get(2) != 0 {
+			set(truncate(get(0), in.Type))
+		} else {
+			set(truncate(get(1), in.Type))
+		}
+	default:
+		return fmt.Errorf("ptx: unhandled opcode %d", in.Op)
+	}
+	return nil
+}
+
+func truncate(v uint64, t Type) uint64 {
+	switch t.Bits() {
+	case 16:
+		return v & 0xffff
+	case 32:
+		return v & 0xffffffff
+	case 1:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+	return v
+}
+
+func f32bits(v uint64) float32      { return math.Float32frombits(uint32(v)) }
+func bitsF32(f float32) uint64      { return uint64(math.Float32bits(f)) }
+func h16(v uint64) fp16.Float16     { return fp16.FromBits(uint16(v)) }
+func bitsH16(h fp16.Float16) uint64 { return uint64(h.Bits()) }
+
+func arith(op Opcode, t Type, a, b uint64) (uint64, error) {
+	switch t {
+	case U32, U64:
+		x, y := a, b
+		if t == U32 {
+			x, y = a&0xffffffff, b&0xffffffff
+		}
+		var v uint64
+		switch op {
+		case OpAdd:
+			v = x + y
+		case OpSub:
+			v = x - y
+		case OpMul:
+			v = x * y
+		case OpDiv:
+			if y == 0 {
+				return 0, fmt.Errorf("ptx: integer division by zero")
+			}
+			v = x / y
+		case OpRem:
+			if y == 0 {
+				return 0, fmt.Errorf("ptx: integer remainder by zero")
+			}
+			v = x % y
+		case OpMin:
+			v = min(x, y)
+		case OpMax:
+			v = max(x, y)
+		}
+		return truncate(v, t), nil
+	case S32:
+		x, y := int32(uint32(a)), int32(uint32(b))
+		var v int32
+		switch op {
+		case OpAdd:
+			v = x + y
+		case OpSub:
+			v = x - y
+		case OpMul:
+			v = x * y
+		case OpDiv:
+			if y == 0 {
+				return 0, fmt.Errorf("ptx: integer division by zero")
+			}
+			v = x / y
+		case OpRem:
+			if y == 0 {
+				return 0, fmt.Errorf("ptx: integer remainder by zero")
+			}
+			v = x % y
+		case OpMin:
+			v = min(x, y)
+		case OpMax:
+			v = max(x, y)
+		}
+		return uint64(uint32(v)), nil
+	case F32:
+		x, y := f32bits(a), f32bits(b)
+		var v float32
+		switch op {
+		case OpAdd:
+			v = x + y
+		case OpSub:
+			v = x - y
+		case OpMul:
+			v = x * y
+		case OpDiv:
+			v = x / y
+		case OpMin:
+			v = float32(math.Min(float64(x), float64(y)))
+		case OpMax:
+			v = float32(math.Max(float64(x), float64(y)))
+		}
+		return bitsF32(v), nil
+	case F16:
+		x, y := h16(a), h16(b)
+		var v fp16.Float16
+		switch op {
+		case OpAdd:
+			v = x.Add(y)
+		case OpSub:
+			v = x.Sub(y)
+		case OpMul:
+			v = x.Mul(y)
+		case OpDiv:
+			v = x.Div(y)
+		case OpMin:
+			if x.Less(y) {
+				v = x
+			} else {
+				v = y
+			}
+		case OpMax:
+			if y.Less(x) {
+				v = x
+			} else {
+				v = y
+			}
+		}
+		return bitsH16(v), nil
+	case F16X2:
+		lo, err := arith(op, F16, a&0xffff, b&0xffff)
+		if err != nil {
+			return 0, err
+		}
+		hi, err := arith(op, F16, a>>16&0xffff, b>>16&0xffff)
+		if err != nil {
+			return 0, err
+		}
+		return hi<<16 | lo, nil
+	}
+	return 0, fmt.Errorf("ptx: arithmetic on unsupported type %v", t)
+}
+
+func mad(t Type, a, b, c uint64) (uint64, error) {
+	switch t {
+	case U32:
+		return truncate(a*b+c, U32), nil
+	case S32:
+		return uint64(uint32(int32(uint32(a))*int32(uint32(b)) + int32(uint32(c)))), nil
+	case U64:
+		return a*b + c, nil
+	case F32:
+		// fma.rn.f32: a single rounding.
+		return bitsF32(float32(math.FMA(float64(f32bits(a)), float64(f32bits(b)), float64(f32bits(c))))), nil
+	case F16:
+		return bitsH16(fp16.FMA(h16(a), h16(b), h16(c))), nil
+	case F16X2:
+		lo, _ := mad(F16, a&0xffff, b&0xffff, c&0xffff)
+		hi, _ := mad(F16, a>>16&0xffff, b>>16&0xffff, c>>16&0xffff)
+		return hi<<16 | lo, nil
+	}
+	return 0, fmt.Errorf("ptx: mad on unsupported type %v", t)
+}
+
+func compare(t Type, cmp CmpOp, a, b uint64) (bool, error) {
+	var c int
+	switch t {
+	case U32:
+		c = cmpOrd(a&0xffffffff, b&0xffffffff)
+	case U64:
+		c = cmpOrd(a, b)
+	case S32:
+		c = cmpOrd(int32(uint32(a)), int32(uint32(b)))
+	case F32:
+		x, y := f32bits(a), f32bits(b)
+		if x != x || y != y { // NaN: only NE holds
+			return cmp == CmpNE, nil
+		}
+		c = cmpOrd(x, y)
+	case F16:
+		x, y := h16(a), h16(b)
+		if x.IsNaN() || y.IsNaN() {
+			return cmp == CmpNE, nil
+		}
+		c = cmpOrd(x.Float32(), y.Float32())
+	default:
+		return false, fmt.Errorf("ptx: setp on unsupported type %v", t)
+	}
+	switch cmp {
+	case CmpEQ:
+		return c == 0, nil
+	case CmpNE:
+		return c != 0, nil
+	case CmpLT:
+		return c < 0, nil
+	case CmpLE:
+		return c <= 0, nil
+	case CmpGT:
+		return c > 0, nil
+	default:
+		return c >= 0, nil
+	}
+}
+
+func cmpOrd[T int32 | uint64 | float32](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func convert(dst, src Type, v uint64) (uint64, error) {
+	switch {
+	case dst == src:
+		return truncate(v, dst), nil
+	case dst == U64 && src == U32:
+		return v & 0xffffffff, nil
+	case dst == U64 && src == S32:
+		return uint64(int64(int32(uint32(v)))), nil
+	case (dst == U32 || dst == S32) && src == U64:
+		return v & 0xffffffff, nil
+	case dst == U32 && src == S32, dst == S32 && src == U32:
+		return v & 0xffffffff, nil
+	case dst == F32 && src == F16:
+		return bitsF32(h16(v).Float32()), nil
+	case dst == F16 && src == F32:
+		return bitsH16(fp16.FromFloat32(f32bits(v))), nil
+	case dst == F32 && (src == U32 || src == S32):
+		if src == S32 {
+			return bitsF32(float32(int32(uint32(v)))), nil
+		}
+		return bitsF32(float32(uint32(v))), nil
+	case (dst == U32 || dst == S32) && src == F32:
+		return uint64(uint32(int32(f32bits(v)))), nil
+	case dst == F16 && (src == U32 || src == S32):
+		if src == S32 {
+			return bitsH16(fp16.FromFloat64(float64(int32(uint32(v))))), nil
+		}
+		return bitsH16(fp16.FromFloat64(float64(uint32(v)))), nil
+	}
+	return 0, fmt.Errorf("ptx: unsupported cvt.%v.%v", dst, src)
+}

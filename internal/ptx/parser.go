@@ -1,0 +1,838 @@
+package ptx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+// Parse assembles a kernel from a PTX-like textual syntax, so kernels can
+// be written as source files rather than builder calls. The accepted
+// subset mirrors the Builder API:
+//
+//	.target sm_70                       // sm_70 = Volta (default), sm_75 = Turing
+//	.entry saxpy(.param .u64 x, .param .u64 y, .param .u32 n)
+//	{
+//	  .shared buf 1024                  // named shared allocation
+//	  mov.u32   %i, %tid.x;
+//	  mul.wide.u32 %off, %i, 4;
+//	  add.u64   %xa, %off, %x;
+//	  ld.global.32 %v, [%xa];
+//	  setp.lt.u32 %p, %i, %n;
+//	@%p bra done;
+//	  bar.sync;
+//	done:
+//	  st.global.32 [%xa], %v;
+//	  exit;
+//	}
+//
+// Registers (%name) are virtual and allocated on first use; parameters
+// are referenced by their declared names. Fragment operands of the wmma
+// instructions are register ranges: {%a0:%a15}. Immediates are decimal,
+// 0x-hex, or PTX-style 0f######## single-precision hex floats.
+func Parse(src string) (*Kernel, error) {
+	p := &parser{
+		b:      nil,
+		regs:   map[string]Reg{},
+		shared: map[string]uint64{},
+		arch:   wmma.Volta,
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" || line == "{" || line == "}" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("ptx: line %d: %w", i+1, err)
+		}
+	}
+	if p.b == nil {
+		return nil, fmt.Errorf("ptx: no .entry directive")
+	}
+	return p.b.Build()
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(src string) *Kernel {
+	k, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+type parser struct {
+	b      *Builder
+	regs   map[string]Reg
+	shared map[string]uint64
+	arch   wmma.Arch
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, "//"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func (p *parser) line(line string) error {
+	// Directives.
+	if strings.HasPrefix(line, ".target") {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			return fmt.Errorf("malformed .target")
+		}
+		switch f[1] {
+		case "sm_70":
+			p.arch = wmma.Volta
+		case "sm_75":
+			p.arch = wmma.Turing
+		default:
+			return fmt.Errorf("unknown target %q", f[1])
+		}
+		return nil
+	}
+	if strings.HasPrefix(line, ".entry") {
+		return p.entry(line)
+	}
+	if strings.HasPrefix(line, ".shared") {
+		if p.b == nil {
+			return fmt.Errorf(".shared before .entry")
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return fmt.Errorf("want: .shared <name> <bytes>")
+		}
+		n, err := strconv.Atoi(f[2])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad shared size %q", f[2])
+		}
+		p.shared[f[1]] = p.b.Shared(n)
+		return nil
+	}
+	if p.b == nil {
+		return fmt.Errorf("instruction before .entry")
+	}
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 || strings.ContainsAny(line[:i], " \t[],.%") {
+			break
+		}
+		p.b.Label(line[:i])
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	// Guard predicate.
+	if strings.HasPrefix(line, "@") {
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			return fmt.Errorf("guard without instruction")
+		}
+		g := line[1:sp]
+		neg := false
+		if strings.HasPrefix(g, "!") {
+			neg = true
+			g = g[1:]
+		}
+		r, err := p.reg(g)
+		if err != nil {
+			return err
+		}
+		p.b.At(r, neg)
+		line = strings.TrimSpace(line[sp:])
+	}
+	line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+	return p.instr(line)
+}
+
+func (p *parser) entry(line string) error {
+	if p.b != nil {
+		return fmt.Errorf("multiple .entry directives")
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, ".entry"))
+	name := rest
+	params := ""
+	if i := strings.Index(rest, "("); i >= 0 {
+		name = strings.TrimSpace(rest[:i])
+		j := strings.LastIndex(rest, ")")
+		if j < i {
+			return fmt.Errorf("unclosed parameter list")
+		}
+		params = rest[i+1 : j]
+	}
+	if name == "" {
+		return fmt.Errorf("missing kernel name")
+	}
+	p.b = NewBuilder(name)
+	for _, decl := range splitTop(params) {
+		f := strings.Fields(decl)
+		if len(f) != 3 || f[0] != ".param" || !strings.HasPrefix(f[1], ".") {
+			return fmt.Errorf("malformed parameter %q (want .param .type name)", decl)
+		}
+		t, err := parseType(strings.TrimPrefix(f[1], "."))
+		if err != nil {
+			return err
+		}
+		p.regs["%"+f[2]] = p.b.Param(f[2], t)
+	}
+	return nil
+}
+
+// splitTop splits on commas that are not inside braces or brackets.
+func splitTop(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func parseType(s string) (Type, error) {
+	switch s {
+	case "u32", "b32":
+		return U32, nil
+	case "s32":
+		return S32, nil
+	case "u64", "b64":
+		return U64, nil
+	case "f16":
+		return F16, nil
+	case "f16x2":
+		return F16X2, nil
+	case "f32":
+		return F32, nil
+	case "pred":
+		return Pred, nil
+	}
+	return 0, fmt.Errorf("unknown type %q", s)
+}
+
+var sregNames = map[string]SReg{
+	"%tid.x": SRegTidX, "%tid.y": SRegTidY, "%tid.z": SRegTidZ,
+	"%ntid.x": SRegNTidX, "%ntid.y": SRegNTidY, "%ntid.z": SRegNTidZ,
+	"%ctaid.x": SRegCtaIDX, "%ctaid.y": SRegCtaIDY, "%ctaid.z": SRegCtaIDZ,
+	"%nctaid.x": SRegNCtaIDX, "%nctaid.y": SRegNCtaIDY, "%nctaid.z": SRegNCtaIDZ,
+	"%laneid": SRegLaneID, "%warpid": SRegWarpID, "%clock": SRegClock,
+}
+
+// reg resolves a %name to its (possibly fresh) virtual register.
+func (p *parser) reg(name string) (Reg, error) {
+	if !strings.HasPrefix(name, "%") {
+		return Reg{}, fmt.Errorf("register %q must start with %%", name)
+	}
+	if _, isS := sregNames[name]; isS {
+		return Reg{}, fmt.Errorf("%s is a special register and cannot be written", name)
+	}
+	if r, ok := p.regs[name]; ok {
+		return r, nil
+	}
+	r := p.b.Reg()
+	p.regs[name] = r
+	return r, nil
+}
+
+// operand resolves a source operand: register, special register, shared
+// symbol, or immediate.
+func (p *parser) operand(tok string) (Operand, error) {
+	tok = strings.TrimSpace(tok)
+	if s, ok := sregNames[tok]; ok {
+		return SR(s), nil
+	}
+	if strings.HasPrefix(tok, "%") {
+		r, err := p.reg(tok)
+		if err != nil {
+			return Operand{}, err
+		}
+		return R(r), nil
+	}
+	if addr, ok := p.shared[tok]; ok {
+		return Imm(addr), nil
+	}
+	// PTX hex-float: 0f3F800000.
+	if strings.HasPrefix(tok, "0f") || strings.HasPrefix(tok, "0F") {
+		v, err := strconv.ParseUint(tok[2:], 16, 32)
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad hex float %q", tok)
+		}
+		return Imm(v), nil
+	}
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return ImmS(v), nil
+	}
+	return Operand{}, fmt.Errorf("cannot parse operand %q", tok)
+}
+
+// addrOperand strips [..] from an address operand.
+func (p *parser) addrOperand(tok string) (Operand, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return Operand{}, fmt.Errorf("address operand %q must be bracketed", tok)
+	}
+	return p.operand(tok[1 : len(tok)-1])
+}
+
+// fragment expands a {%a0:%a15} or {%a0,%a1,...} register range.
+func (p *parser) fragment(tok string) ([]Reg, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "{") || !strings.HasSuffix(tok, "}") {
+		return nil, fmt.Errorf("fragment %q must be braced", tok)
+	}
+	body := tok[1 : len(tok)-1]
+	if i := strings.Index(body, ":"); i >= 0 {
+		lo, hi := strings.TrimSpace(body[:i]), strings.TrimSpace(body[i+1:])
+		base, loN, err := splitRegNum(lo)
+		if err != nil {
+			return nil, err
+		}
+		base2, hiN, err := splitRegNum(hi)
+		if err != nil {
+			return nil, err
+		}
+		if base != base2 || hiN < loN {
+			return nil, fmt.Errorf("malformed range %q", tok)
+		}
+		var out []Reg
+		for n := loN; n <= hiN; n++ {
+			r, err := p.reg(fmt.Sprintf("%s%d", base, n))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	var out []Reg
+	for _, f := range splitTop(body) {
+		r, err := p.reg(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func splitRegNum(s string) (string, int, error) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) || i == 0 {
+		return "", 0, fmt.Errorf("register %q has no numeric suffix for ranging", s)
+	}
+	n, err := strconv.Atoi(s[i:])
+	if err != nil {
+		return "", 0, err
+	}
+	return s[:i], n, nil
+}
+
+func (p *parser) instr(line string) error {
+	sp := strings.IndexAny(line, " \t")
+	op := line
+	rest := ""
+	if sp >= 0 {
+		op = line[:sp]
+		rest = strings.TrimSpace(line[sp:])
+	}
+	args := splitTop(rest)
+	dots := strings.Split(op, ".")
+
+	switch dots[0] {
+	case "wmma":
+		return p.wmma(dots, args)
+	case "bar":
+		p.b.Bar()
+		return nil
+	case "exit":
+		p.b.Exit()
+		return nil
+	case "bra":
+		if len(args) != 1 {
+			return fmt.Errorf("bra wants one label")
+		}
+		// The builder's pending guard (set by the @ prefix) applies.
+		p.b.Bra(args[0])
+		return nil
+	case "clock":
+		if len(args) != 1 {
+			return fmt.Errorf("clock wants one destination")
+		}
+		d, err := p.reg(args[0])
+		if err != nil {
+			return err
+		}
+		p.b.Clock(d)
+		return nil
+	case "ld", "st":
+		return p.memory(dots, args)
+	}
+
+	// Typed ALU forms: op.type or cvt.dst.src or setp.cmp.type or
+	// mul.wide.u32 / mad.wide variants.
+	switch dots[0] {
+	case "mov", "add", "sub", "mul", "mad", "div", "rem", "min", "max",
+		"and", "or", "xor", "shl", "shr", "cvt", "setp", "selp":
+	default:
+		return fmt.Errorf("unknown instruction %q", op)
+	}
+	if len(dots) < 2 {
+		return fmt.Errorf("%s needs a type suffix", dots[0])
+	}
+	if len(args) < 2 {
+		return fmt.Errorf("%s needs operands", op)
+	}
+	d, err := p.reg(args[0])
+	if err != nil {
+		return err
+	}
+	srcs := make([]Operand, 0, 3)
+	for _, a := range args[1:] {
+		o, err := p.operand(a)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, o)
+	}
+	bin := func(emit func(Type, Reg, Operand, Operand)) error {
+		t, err := parseType(dots[1])
+		if err != nil {
+			return err
+		}
+		if len(srcs) != 2 {
+			return fmt.Errorf("%s wants two sources", op)
+		}
+		emit(t, d, srcs[0], srcs[1])
+		return nil
+	}
+	switch dots[0] {
+	case "mov":
+		t, err := parseType(dots[1])
+		if err != nil {
+			return err
+		}
+		if len(srcs) != 1 {
+			return fmt.Errorf("mov wants one source")
+		}
+		p.b.Mov(t, d, srcs[0])
+		return nil
+	case "add":
+		return bin(p.b.Add)
+	case "sub":
+		return bin(p.b.Sub)
+	case "mul":
+		if dots[1] == "wide" {
+			if len(srcs) != 2 {
+				return fmt.Errorf("mul.wide wants two sources")
+			}
+			p.b.MulWide(d, srcs[0], srcs[1])
+			return nil
+		}
+		return bin(p.b.Mul)
+	case "div":
+		return bin(p.b.Div)
+	case "rem":
+		return bin(p.b.Rem)
+	case "min":
+		return bin(p.b.Min)
+	case "max":
+		return bin(p.b.Max)
+	case "and":
+		return bin(p.b.And)
+	case "or":
+		return bin(p.b.Or)
+	case "xor":
+		return bin(p.b.Xor)
+	case "shl":
+		return bin(p.b.Shl)
+	case "shr":
+		return bin(p.b.Shr)
+	case "mad":
+		t, err := parseType(dots[1])
+		if err != nil {
+			return err
+		}
+		if len(srcs) != 3 {
+			return fmt.Errorf("mad wants three sources")
+		}
+		p.b.Mad(t, d, srcs[0], srcs[1], srcs[2])
+		return nil
+	case "cvt":
+		if len(dots) != 3 {
+			return fmt.Errorf("cvt wants cvt.<dst>.<src>")
+		}
+		dt, err := parseType(dots[1])
+		if err != nil {
+			return err
+		}
+		st, err := parseType(dots[2])
+		if err != nil {
+			return err
+		}
+		if len(srcs) != 1 {
+			return fmt.Errorf("cvt wants one source")
+		}
+		p.b.Cvt(dt, st, d, srcs[0])
+		return nil
+	case "setp":
+		if len(dots) != 3 {
+			return fmt.Errorf("setp wants setp.<cmp>.<type>")
+		}
+		cmp, err := parseCmp(dots[1])
+		if err != nil {
+			return err
+		}
+		t, err := parseType(dots[2])
+		if err != nil {
+			return err
+		}
+		if len(srcs) != 2 {
+			return fmt.Errorf("setp wants two sources")
+		}
+		p.b.Setp(t, cmp, d, srcs[0], srcs[1])
+		return nil
+	case "selp":
+		t, err := parseType(dots[1])
+		if err != nil {
+			return err
+		}
+		if len(srcs) != 3 {
+			return fmt.Errorf("selp wants three sources")
+		}
+		p.b.Selp(t, d, srcs[0], srcs[1], srcs[2])
+		return nil
+	}
+	return fmt.Errorf("unknown instruction %q", op)
+}
+
+func parseCmp(s string) (CmpOp, error) {
+	switch s {
+	case "eq":
+		return CmpEQ, nil
+	case "ne":
+		return CmpNE, nil
+	case "lt":
+		return CmpLT, nil
+	case "le":
+		return CmpLE, nil
+	case "gt":
+		return CmpGT, nil
+	case "ge":
+		return CmpGE, nil
+	}
+	return 0, fmt.Errorf("unknown comparison %q", s)
+}
+
+func (p *parser) memory(dots []string, args []string) error {
+	if len(dots) != 3 {
+		return fmt.Errorf("want %s.<space>.<bits>", dots[0])
+	}
+	var space Space
+	switch dots[1] {
+	case "global":
+		space = Global
+	case "shared":
+		space = Shared
+	case "generic":
+		space = Generic
+	default:
+		return fmt.Errorf("unknown space %q", dots[1])
+	}
+	width, err := strconv.Atoi(dots[2])
+	if err != nil || (width != 16 && width != 32 && width != 64 && width != 128) {
+		return fmt.Errorf("bad width %q", dots[2])
+	}
+	words := width / 32
+	if words == 0 {
+		words = 1
+	}
+	if dots[0] == "ld" {
+		if len(args) != 2 {
+			return fmt.Errorf("ld wants dst(s), [addr]")
+		}
+		var dst []Reg
+		if strings.HasPrefix(args[0], "{") {
+			dst, err = p.fragment(args[0])
+		} else {
+			var r Reg
+			r, err = p.reg(args[0])
+			dst = []Reg{r}
+		}
+		if err != nil {
+			return err
+		}
+		if len(dst) != words && width > 32 {
+			return fmt.Errorf("%d-bit load needs %d destination registers", width, words)
+		}
+		addr, err := p.addrOperand(args[1])
+		if err != nil {
+			return err
+		}
+		p.b.Ld(space, width, dst, addr)
+		return nil
+	}
+	if len(args) < 2 {
+		return fmt.Errorf("st wants [addr], src(s)")
+	}
+	addr, err := p.addrOperand(args[0])
+	if err != nil {
+		return err
+	}
+	var srcs []Operand
+	for _, a := range args[1:] {
+		if strings.HasPrefix(a, "{") {
+			regs, err := p.fragment(a)
+			if err != nil {
+				return err
+			}
+			for _, r := range regs {
+				srcs = append(srcs, R(r))
+			}
+			continue
+		}
+		o, err := p.operand(a)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, o)
+	}
+	if len(srcs) != words {
+		return fmt.Errorf("%d-bit store needs %d source registers", width, words)
+	}
+	p.b.St(space, width, addr, srcs)
+	return nil
+}
+
+// wmma parses the three tensor-core instructions:
+//
+//	wmma.load.a.sync.row.m16n16k16.f16 {%a0:%a15}, [%ptr], 16;
+//	wmma.mma.sync.row.col.m16n16k16.f32.f32 {%d0:%d7}, {%a0:%a15}, {%b0:%b15}, {%c0:%c7};
+//	wmma.store.d.sync.row.m16n16k16.f32 [%ptr], {%d0:%d7}, 16;
+func (p *parser) wmma(dots []string, args []string) error {
+	if len(dots) < 4 {
+		return fmt.Errorf("truncated wmma instruction")
+	}
+	if dots[1] == "mma" {
+		if dots[2] != "sync" {
+			return fmt.Errorf("wmma instructions require the .sync qualifier")
+		}
+		// wmma.mma.sync.alayout.blayout.shape.dtype.ctype
+		if len(dots) != 8 {
+			return fmt.Errorf("want wmma.mma.sync.<alayout>.<blayout>.<shape>.<dtype>.<ctype>")
+		}
+		al, err := parseLayout(dots[3])
+		if err != nil {
+			return err
+		}
+		bl, err := parseLayout(dots[4])
+		if err != nil {
+			return err
+		}
+		shape, err := parseShape(dots[5])
+		if err != nil {
+			return err
+		}
+		dt, err := parsePrecision(dots[6])
+		if err != nil {
+			return err
+		}
+		ct, err := parsePrecision(dots[7])
+		if err != nil {
+			return err
+		}
+		if len(args) != 4 {
+			return fmt.Errorf("wmma.mma wants d, a, b, c fragments")
+		}
+		fd, err := p.fragment(args[0])
+		if err != nil {
+			return err
+		}
+		fa, err := p.fragment(args[1])
+		if err != nil {
+			return err
+		}
+		fb, err := p.fragment(args[2])
+		if err != nil {
+			return err
+		}
+		fc, err := p.fragment(args[3])
+		if err != nil {
+			return err
+		}
+		cfg := wmma.Config{Arch: p.arch, Shape: shape, ALayout: al, BLayout: bl,
+			AType: wmma.F16, CType: ct, DType: dt}
+		if ct.IsInt() || dt.IsInt() {
+			cfg.AType = wmma.S8
+		}
+		got := p.b.WmmaMMA(cfg, fa, fb, fc)
+		if got == nil {
+			return fmt.Errorf("invalid wmma.mma configuration %v", cfg)
+		}
+		if len(fd) != len(got) {
+			return fmt.Errorf("destination fragment has %d registers, mma produces %d", len(fd), len(got))
+		}
+		// Re-bind the destination names onto the registers the mma
+		// actually wrote (the C fragment for in-place accumulation, or a
+		// fresh range when dtype differs from ctype).
+		return p.alias(fd, got)
+	}
+
+	// wmma.load.{a,b,c}.sync.layout.shape.type  /  wmma.store.d.sync...
+	isLoad := dots[1] == "load"
+	isStore := dots[1] == "store"
+	if !isLoad && !isStore {
+		return fmt.Errorf("unknown wmma form %q", strings.Join(dots, "."))
+	}
+	if len(dots) != 7 {
+		return fmt.Errorf("want wmma.%s.<op>.sync.<layout>.<shape>.<type>", dots[1])
+	}
+	var opnd wmma.Operand
+	switch dots[2] {
+	case "a":
+		opnd = wmma.MatrixA
+	case "b":
+		opnd = wmma.MatrixB
+	case "c", "d":
+		opnd = wmma.MatrixC
+	default:
+		return fmt.Errorf("unknown wmma operand %q", dots[2])
+	}
+	if dots[3] != "sync" {
+		return fmt.Errorf("wmma requires .sync")
+	}
+	layout, err := parseLayout(dots[4])
+	if err != nil {
+		return err
+	}
+	shape, err := parseShape(dots[5])
+	if err != nil {
+		return err
+	}
+	elem, err := parsePrecision(dots[6])
+	if err != nil {
+		return err
+	}
+	if isLoad {
+		if len(args) != 3 {
+			return fmt.Errorf("wmma.load wants frag, [addr], stride")
+		}
+		frag, err := p.fragment(args[0])
+		if err != nil {
+			return err
+		}
+		addr, err := p.addrOperand(args[1])
+		if err != nil {
+			return err
+		}
+		stride, err := p.operand(args[2])
+		if err != nil {
+			return err
+		}
+		got := p.b.WmmaLoad(p.arch, shape, opnd, layout, elem, addr, stride)
+		if got == nil {
+			return fmt.Errorf("invalid wmma.load configuration")
+		}
+		if len(frag) != len(got) {
+			return fmt.Errorf("fragment has %d registers, mapping needs %d", len(frag), len(got))
+		}
+		// Re-point the user's names at the allocated registers.
+		return p.alias(frag, got)
+	}
+	if len(args) != 3 {
+		return fmt.Errorf("wmma.store wants [addr], frag, stride")
+	}
+	addr, err := p.addrOperand(args[0])
+	if err != nil {
+		return err
+	}
+	frag, err := p.fragment(args[1])
+	if err != nil {
+		return err
+	}
+	stride, err := p.operand(args[2])
+	if err != nil {
+		return err
+	}
+	p.b.WmmaStore(p.arch, shape, layout, elem, addr, frag, stride)
+	return nil
+}
+
+// alias re-binds parsed fragment register names onto the registers the
+// builder allocated, so later references resolve to the loaded values.
+func (p *parser) alias(names, actual []Reg) error {
+	// Find the textual names bound to `names` and rebind them.
+	for nm, r := range p.regs {
+		for i := range names {
+			if r == names[i] {
+				p.regs[nm] = actual[i]
+			}
+		}
+	}
+	return nil
+}
+
+func parseLayout(s string) (tensor.Layout, error) {
+	switch s {
+	case "row":
+		return tensor.RowMajor, nil
+	case "col":
+		return tensor.ColMajor, nil
+	}
+	return 0, fmt.Errorf("unknown layout %q", s)
+}
+
+func parseShape(s string) (wmma.Shape, error) {
+	switch s {
+	case "m16n16k16":
+		return wmma.M16N16K16, nil
+	case "m32n8k16":
+		return wmma.M32N8K16, nil
+	case "m8n32k16":
+		return wmma.M8N32K16, nil
+	case "m8n8k32":
+		return wmma.M8N8K32, nil
+	}
+	return wmma.Shape{}, fmt.Errorf("unknown shape %q", s)
+}
+
+func parsePrecision(s string) (wmma.Precision, error) {
+	switch s {
+	case "f16":
+		return wmma.F16, nil
+	case "f32":
+		return wmma.F32, nil
+	case "s8":
+		return wmma.S8, nil
+	case "u8":
+		return wmma.U8, nil
+	case "s4":
+		return wmma.S4, nil
+	case "u4":
+		return wmma.U4, nil
+	case "s32":
+		return wmma.S32, nil
+	}
+	return 0, fmt.Errorf("unknown precision %q", s)
+}

@@ -1,0 +1,224 @@
+package ptx
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+func TestParseVecAdd(t *testing.T) {
+	src := `
+.entry vecadd(.param .u64 a, .param .u64 b, .param .u64 c)
+{
+  mov.u32      %i, %tid.x;
+  mul.wide.u32 %off, %i, 4;
+  add.u64      %pa, %off, %a;
+  add.u64      %pb, %off, %b;
+  ld.global.32 %va, [%pa];
+  ld.global.32 %vb, [%pb];
+  add.u32      %va, %va, %vb;
+  add.u64      %pc, %off, %c;
+  st.global.32 [%pc], %va;
+  exit;
+}`
+	k, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "vecadd" || len(k.Params) != 3 {
+		t.Fatalf("kernel header: %s, %d params", k.Name, len(k.Params))
+	}
+	mem := NewFlatMemory(3 * 4 * 64)
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint32(mem.Data[4*i:], uint32(i))
+		binary.LittleEndian.PutUint32(mem.Data[4*(64+i):], uint32(100*i))
+	}
+	if err := RunGrid(k, mem, D1(1), D1(64), []uint64{0, 256, 512}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if got := binary.LittleEndian.Uint32(mem.Data[4*(128+i):]); got != uint32(101*i) {
+			t.Fatalf("c[%d] = %d, want %d", i, got, 101*i)
+		}
+	}
+}
+
+func TestParseControlFlowAndPredicates(t *testing.T) {
+	src := `
+.entry count(.param .u64 out)
+  mov.u32 %i, 0;
+  mov.u32 %sum, 0;
+top:
+  add.u32 %i, %i, 1;
+  add.u32 %sum, %sum, %i;
+  setp.lt.u32 %p, %i, 10;
+@%p bra top;
+  selp.u32 %v, %sum, 0, %p;
+@!%p st.global.32 [%out], %sum;
+  exit;
+`
+	k := MustParse(src)
+	mem := NewFlatMemory(64)
+	if err := RunGrid(k, mem, D1(1), D1(1), []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(mem.Data[0:]); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestParseSharedAndBarrier(t *testing.T) {
+	src := `
+.entry flip(.param .u64 out)
+  .shared buf 256
+  mov.u32      %tid, %tid.x;
+  mul.wide.u32 %off, %tid, 4;
+  add.u64      %sp, %off, buf;
+  st.shared.32 [%sp], %tid;
+  bar.sync;
+  sub.u32      %rev, 63, %tid;
+  mul.wide.u32 %roff, %rev, 4;
+  add.u64      %rp, %roff, buf;
+  ld.shared.32 %v, [%rp];
+  add.u64      %gp, %off, %out;
+  st.global.32 [%gp], %v;
+  exit;
+`
+	k := MustParse(src)
+	if k.SharedBytes != 256 {
+		t.Fatalf("shared bytes = %d", k.SharedBytes)
+	}
+	mem := NewFlatMemory(256)
+	if err := RunGrid(k, mem, D1(1), D1(64), []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if got := binary.LittleEndian.Uint32(mem.Data[4*i:]); got != uint32(63-i) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, 63-i)
+		}
+	}
+}
+
+func TestParseHexFloatAndVectorMemory(t *testing.T) {
+	src := `
+.entry f(.param .u64 out)
+  mov.f32 %x, 0f40490FDB;        // π
+  mov.f32 %y, 0f3F800000;        // 1.0
+  mad.f32 %z, %x, %y, %y;        // π + 1
+  mov.f32 %w, %z;
+  st.global.128 [%out], {%z, %w, %x, %y};
+  exit;
+`
+	k := MustParse(src)
+	mem := NewFlatMemory(64)
+	if err := RunGrid(k, mem, D1(1), D1(1), []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	got := binary.LittleEndian.Uint32(mem.Data[0:])
+	if want := math.Float32bits(float32(math.Pi) + 1); got != want {
+		t.Fatalf("π+1 bits = %#08x, want %#08x", got, want)
+	}
+}
+
+// A full wmma GEMM tile written as PTX text must agree with the
+// functional model.
+func TestParseWmmaKernel(t *testing.T) {
+	src := `
+.target sm_70
+.entry wmma_tile(.param .u64 a, .param .u64 b, .param .u64 c, .param .u64 d)
+  wmma.load.a.sync.row.m16n16k16.f16 {%a0:%a15}, [%a], 16;
+  wmma.load.b.sync.row.m16n16k16.f16 {%b0:%b15}, [%b], 16;
+  wmma.load.c.sync.row.m16n16k16.f32 {%c0:%c7}, [%c], 16;
+  wmma.mma.sync.row.row.m16n16k16.f32.f32 {%c0:%c7}, {%a0:%a15}, {%b0:%b15}, {%c0:%c7};
+  wmma.store.d.sync.row.m16n16k16.f32 [%d], {%c0:%c7}, 16;
+  exit;
+`
+	k := MustParse(src)
+	a := tensor.New(16, 16, tensor.RowMajor)
+	bm := tensor.New(16, 16, tensor.RowMajor)
+	c := tensor.New(16, 16, tensor.RowMajor)
+	rngFill(a, 11)
+	rngFill(bm, 13)
+	rngFill(c, 17)
+	mem := NewFlatMemory(8192)
+	writeF16Matrix(mem, 0, a)
+	writeF16Matrix(mem, 1024, bm)
+	writeF32Matrix(mem, 2048, c)
+	if err := RunGrid(k, mem, D1(1), D1(32), []uint64{0, 1024, 2048, 4096}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := wmma.Config{Arch: wmma.Volta, Shape: wmma.M16N16K16,
+		ALayout: tensor.RowMajor, BLayout: tensor.RowMajor,
+		AType: wmma.F16, CType: wmma.F32, DType: wmma.F32}
+	want := wmma.MustMMA(cfg, a, bm, c, tensor.RowMajor)
+	got := readF32Matrix(mem, 4096, 16, 16, tensor.RowMajor)
+	if diff := tensor.MaxAbsDiff(got, want); diff != 0 {
+		t.Fatalf("parsed wmma kernel differs from functional model by %g", diff)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no entry":        `mov.u32 %r, 1;`,
+		"bad type":        ".entry k()\n mov.q99 %r, 1;",
+		"unknown instr":   ".entry k()\n frobnicate.u32 %r, 1;",
+		"bad target":      ".target sm_99\n.entry k()\n exit;",
+		"bad label":       ".entry k()\n bra nowhere;\n exit;",
+		"bad param":       ".entry k(.param u64 x)\n exit;",
+		"sreg write":      ".entry k()\n mov.u32 %tid.x, 1;",
+		"frag mismatch":   ".entry k(.param .u64 a)\n wmma.load.a.sync.row.m16n16k16.f16 {%a0:%a7}, [%a], 16;",
+		"bad store width": ".entry k(.param .u64 a)\n st.global.64 [%a], %r0;",
+		"dup entry":       ".entry k()\n exit;\n.entry j()\n exit;",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected a parse error", name)
+		}
+	}
+}
+
+func TestParseTuringTarget(t *testing.T) {
+	src := `
+.target sm_75
+.entry t(.param .u64 a)
+  wmma.load.a.sync.row.m32n8k16.f16 {%a0:%a15}, [%a], 16;
+  exit;
+`
+	k := MustParse(src)
+	var found bool
+	for _, in := range k.Instrs {
+		if in.Op == OpWmmaLoad {
+			found = true
+			if in.WMap.Arch != wmma.Turing || in.WMap.Shape != wmma.M32N8K16 {
+				t.Errorf("mapping arch/shape = %v/%v", in.WMap.Arch, in.WMap.Shape)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no wmma.load parsed")
+	}
+}
+
+func TestParseCommentsAndFormatting(t *testing.T) {
+	src := strings.Join([]string{
+		"// leading comment",
+		".entry k(.param .u64 out)",
+		"{",
+		"  mov.u32 %v, 7; // trailing comment",
+		"  st.global.32 [%out], %v;",
+		"  exit;",
+		"}",
+	}, "\n")
+	k := MustParse(src)
+	mem := NewFlatMemory(16)
+	if err := RunGrid(k, mem, D1(1), D1(1), []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(mem.Data[0:]); got != 7 {
+		t.Fatalf("got %d", got)
+	}
+}

@@ -1,0 +1,224 @@
+package ptx
+
+import (
+	"fmt"
+
+	"repro/internal/fp16"
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+// Execution of the three wmma instructions. wmma.load/store move fragment
+// elements between memory and registers following the fragment-to-thread
+// mapping reverse engineered in Section III-B; wmma.mma reconstructs the
+// operand tiles from the fragments, computes D = A×B + C with the tensor
+// core arithmetic of internal/wmma, and scatters D back into registers.
+
+// uniformOperand reads an operand that must hold the same value in every
+// enabled lane (wmma base addresses and strides are warp-level values).
+func (w *Warp) uniformOperand(in *Instr, o Operand) (uint64, error) {
+	var v uint64
+	first := true
+	for lane := 0; lane < 32; lane++ {
+		if !w.laneEnabled(lane, in) {
+			continue
+		}
+		lv := w.operand(lane, o)
+		if first {
+			v, first = lv, false
+			continue
+		}
+		if lv != v {
+			return 0, fmt.Errorf("ptx: wmma operand %v not warp-uniform", o)
+		}
+	}
+	if first {
+		return 0, fmt.Errorf("ptx: wmma executed with no enabled lanes")
+	}
+	return v, nil
+}
+
+// fragAccesses converts one lane's fragment element addresses into the
+// coalesced SASS-level accesses of Section III-C: maximal consecutive runs
+// split into ≤128-bit pieces.
+func fragAccesses(lane int, addrs []uint64, elemBits int, space Space, store bool) []Access {
+	var out []Access
+	i := 0
+	for i < len(addrs) {
+		j := i + 1
+		for j < len(addrs) && addrs[j] == addrs[j-1]+uint64(elemBits/8) {
+			j++
+		}
+		bits := (j - i) * elemBits
+		base := addrs[i]
+		for bits > 0 {
+			b := bits
+			if b > 128 {
+				b = 128
+			}
+			out = append(out, Access{Lane: lane, Addr: base, Bits: b, Space: space, Store: store})
+			base += uint64(b / 8)
+			bits -= b
+		}
+		i = j
+	}
+	return out
+}
+
+func (w *Warp) execWmmaLoad(in *Instr, res *Result) error {
+	m := in.WMap
+	base, err := w.uniformOperand(in, in.Src[0])
+	if err != nil {
+		return err
+	}
+	stride, err := w.uniformOperand(in, in.Src[1])
+	if err != nil {
+		return err
+	}
+	elemBytes := uint64(cuda4BitBytes(m.Elem))
+	buf := make([]byte, 4)
+	for lane := 0; lane < 32; lane++ {
+		if !w.laneEnabled(lane, in) {
+			continue
+		}
+		addrs := make([]uint64, len(m.Lanes[lane]))
+		for slot, c := range m.Lanes[lane] {
+			off := memOffsetFor(m, c, int(stride))
+			addr := base + uint64(off)*elemBytes
+			addrs[slot] = addr
+			w.Env.read(in.Space, addr, buf[:elemBytes])
+			var v uint64
+			for b := int(elemBytes) - 1; b >= 0; b-- {
+				v = v<<8 | uint64(buf[b])
+			}
+			// Signed integer operands live in registers as s32 values.
+			if elemBytes == 1 && (m.Elem == wmma.S8 || m.Elem == wmma.S4) {
+				v = uint64(uint32(int32(int8(v))))
+			}
+			w.setReg(lane, in.Dst[slot], v)
+		}
+		sp, _ := w.Env.resolveSpace(in.Space, addrs[0])
+		res.Accesses = append(res.Accesses, fragAccesses(lane, addrs, m.Elem.Bits(), sp, false)...)
+	}
+	return nil
+}
+
+func (w *Warp) execWmmaStore(in *Instr, res *Result) error {
+	m := in.WMap
+	base, err := w.uniformOperand(in, in.Src[0])
+	if err != nil {
+		return err
+	}
+	stride, err := w.uniformOperand(in, in.Src[1])
+	if err != nil {
+		return err
+	}
+	elemBytes := uint64(cuda4BitBytes(m.Elem))
+	buf := make([]byte, 4)
+	for lane := 0; lane < 32; lane++ {
+		if !w.laneEnabled(lane, in) {
+			continue
+		}
+		addrs := make([]uint64, len(m.Lanes[lane]))
+		for slot, c := range m.Lanes[lane] {
+			off := memOffsetFor(m, c, int(stride))
+			addr := base + uint64(off)*elemBytes
+			addrs[slot] = addr
+			v := w.operand(lane, in.Src[2+slot])
+			for b := 0; b < int(elemBytes); b++ {
+				buf[b] = byte(v >> (8 * b))
+			}
+			w.Env.write(in.Space, addr, buf[:elemBytes])
+		}
+		sp, _ := w.Env.resolveSpace(in.Space, addrs[0])
+		res.Accesses = append(res.Accesses, fragAccesses(lane, addrs, m.Elem.Bits(), sp, true)...)
+	}
+	return nil
+}
+
+// memOffsetFor computes the element offset of coord c in a tile stored
+// with the mapping's layout and leading dimension ld.
+func memOffsetFor(m *wmma.Mapping, c wmma.Coord, ld int) int {
+	if m.Layout == tensor.RowMajor {
+		return c.Row*ld + c.Col
+	}
+	return c.Col*ld + c.Row
+}
+
+func (w *Warp) execWmmaMMA(in *Instr) error {
+	cfg := in.WConfig
+	nA := in.WMapA.FragmentLen()
+	nB := in.WMapB.FragmentLen()
+	aTile := w.gatherTile(in, in.WMapA, 0, cfg.AType)
+	bTile := w.gatherTile(in, in.WMapB, nA, cfg.AType)
+	cTile := w.gatherTile(in, in.WMap, nA+nB, cfg.CType)
+	d, err := wmma.MMA(cfg, aTile, bTile, cTile, tensor.RowMajor)
+	if err != nil {
+		return err
+	}
+	// Scatter D into the destination registers via the D mapping.
+	dm := in.WMapD
+	for lane := 0; lane < 32; lane++ {
+		if !w.laneEnabled(lane, in) {
+			continue
+		}
+		for slot, c := range dm.Lanes[lane] {
+			w.setReg(lane, in.Dst[slot], encodeElem(cfg.DType, d.At(c.Row, c.Col)))
+		}
+	}
+	return nil
+}
+
+// gatherTile reconstructs an operand tile from fragment registers. For
+// Volta A/B every element exists in two lanes holding identical values;
+// either copy serves.
+func (w *Warp) gatherTile(in *Instr, m *wmma.Mapping, srcOff int, elem wmma.Precision) *tensor.Matrix {
+	rows, cols := m.Shape.Dims(m.Op)
+	t := tensor.New(rows, cols, tensor.RowMajor)
+	for lane := 0; lane < 32; lane++ {
+		if !w.laneEnabled(lane, in) {
+			continue
+		}
+		for slot, c := range m.Lanes[lane] {
+			bits := w.operand(lane, in.Src[srcOff+slot])
+			t.Set(c.Row, c.Col, decodeElem(elem, bits))
+		}
+	}
+	return t
+}
+
+// decodeElem converts a register's raw bits into the host float64 value of
+// an element of the given precision.
+func decodeElem(p wmma.Precision, bits uint64) float64 {
+	switch p {
+	case wmma.F16:
+		return fp16.FromBits(uint16(bits)).Float64()
+	case wmma.F32:
+		return float64(f32bits(bits))
+	default: // integer operand types live as s32 values in registers
+		return float64(int32(uint32(bits)))
+	}
+}
+
+// encodeElem converts a host float64 element into register bits of the
+// given precision.
+func encodeElem(p wmma.Precision, v float64) uint64 {
+	switch p {
+	case wmma.F16:
+		return uint64(fp16.FromFloat64(v).Bits())
+	case wmma.F32:
+		return bitsF32(float32(v))
+	default:
+		return uint64(uint32(int32(v)))
+	}
+}
+
+// cuda4BitBytes returns the device storage bytes of one fragment element:
+// sub-byte types (s4/u4) are stored one element per byte in this model.
+func cuda4BitBytes(p wmma.Precision) int {
+	b := p.Bits() / 8
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

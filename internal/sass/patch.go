@@ -1,0 +1,112 @@
+package sass
+
+import (
+	"fmt"
+
+	"repro/internal/tcore"
+)
+
+// The paper's reverse-engineering instruments, reimplemented against the
+// model. Figure 5: "We use radare2 to replace all HMMA operations except
+// one with NOP instructions" — isolating which data a single HMMA touches.
+// Figure 6: "we used radare2 to add code that reads the clock register
+// before the 1st and after the nth HMMA instruction" — measuring the
+// cumulative latency of an HMMA prefix.
+
+// NopAllHMMAButOne returns a copy of p with every HMMA except the keep-th
+// (0-based, counted over HMMAs only) replaced by NOP, per Figure 5.
+func NopAllHMMAButOne(p Program, keep int) (Program, error) {
+	idx := p.HMMAIndices()
+	if keep < 0 || keep >= len(idx) {
+		return nil, fmt.Errorf("sass: keep index %d out of range (%d HMMAs)", keep, len(idx))
+	}
+	out := append(Program(nil), p...)
+	for n, i := range idx {
+		if n != keep {
+			out[i] = Instr{Op: OpNOP}
+		}
+	}
+	return out, nil
+}
+
+// InsertClockReads returns a copy of p with CS2R clock reads inserted
+// before the first HMMA and immediately after the n-th HMMA (1-based),
+// per Figure 6. The destination registers R0 and R1 match the figure.
+func InsertClockReads(p Program, n int) (Program, error) {
+	idx := p.HMMAIndices()
+	if n < 1 || n > len(idx) {
+		return nil, fmt.Errorf("sass: clock read after HMMA %d out of range (%d HMMAs)", n, len(idx))
+	}
+	var out Program
+	r0 := Instr{Op: OpCS2R, Dst: Operand{Reg: RegPair{0}}}
+	r1 := Instr{Op: OpCS2R, Dst: Operand{Reg: RegPair{1}}}
+	for i, in := range p {
+		if i == idx[0] {
+			out = append(out, r0)
+		}
+		out = append(out, in)
+		if i == idx[n-1] {
+			out = append(out, r1)
+		}
+	}
+	return out, nil
+}
+
+// MeasureClock evaluates a clock-patched listing against a calibrated HMMA
+// timing: it returns the difference between the two CS2R reads, i.e. the
+// cumulative cycles from just before the first remaining HMMA to just
+// after the last HMMA preceding the second read. This is the model-side
+// equivalent of running the Figure 6 microbenchmark on hardware.
+func MeasureClock(p Program, timing tcore.Timing) (int, error) {
+	clockReads := 0
+	hmmaSeen := 0
+	first, second := -1, -1
+	for _, in := range p {
+		switch in.Op {
+		case OpCS2R:
+			if clockReads == 0 {
+				first = hmmaSeen
+			} else {
+				second = hmmaSeen
+			}
+			clockReads++
+		case OpHMMA:
+			hmmaSeen++
+		}
+	}
+	if clockReads != 2 {
+		return 0, fmt.Errorf("sass: program has %d clock reads, want 2", clockReads)
+	}
+	if second <= first {
+		return 0, fmt.Errorf("sass: no HMMA between the clock reads")
+	}
+	if second > timing.NumHMMA() {
+		return 0, fmt.Errorf("sass: %d HMMAs but timing covers %d", second, timing.NumHMMA())
+	}
+	start := 0
+	if first > 0 {
+		start = timing.Cumulative[first-1]
+	}
+	return timing.Cumulative[second-1] - start, nil
+}
+
+// CumulativeSweep runs the Figure 6 methodology for every prefix length:
+// element n-1 is the measured cycles from before HMMA 1 to after HMMA n.
+// Applied to an unpatched expansion it regenerates the cumulative columns
+// of Figure 9 and Table I.
+func CumulativeSweep(p Program, timing tcore.Timing) ([]int, error) {
+	n := len(p.HMMAIndices())
+	out := make([]int, 0, n)
+	for i := 1; i <= n; i++ {
+		patched, err := InsertClockReads(p, i)
+		if err != nil {
+			return nil, err
+		}
+		c, err := MeasureClock(patched, timing)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

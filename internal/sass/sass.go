@@ -1,0 +1,267 @@
+// Package sass models the machine-ISA (SASS) view of the tensor core
+// instructions described in Section III-C of the paper: how wmma.load,
+// wmma.mma and wmma.store PTX instructions expand into LD.E.64 / LD.E.128
+// / LD.E.SYS / ST.E.SYS and HMMA.884 machine instructions, including the
+// register-pair encoding and the "reuse" operand-cache annotations visible
+// in the disassembly of Figure 9.
+//
+// It also implements the paper's reverse-engineering methodology as code:
+// a radare2-style binary patcher that replaces all but one HMMA with NOPs
+// (Figure 5) or brackets an HMMA prefix with clock reads (Figure 6), and a
+// small evaluator that "runs" a patched listing against the calibrated
+// timings of internal/tcore, reproducing the measurements those
+// microbenchmarks produced on silicon.
+package sass
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tcore"
+	"repro/internal/wmma"
+)
+
+// Opcode enumerates the SASS instructions the tensor-core expansions use.
+type Opcode int
+
+const (
+	OpHMMA  Opcode = iota // HMMA.884.<dtype>.<ctype>[.STEP<n>]
+	OpLD64                // LD.E.64
+	OpLD128               // LD.E.128
+	OpLDSYS               // LD.E.SYS (32-bit)
+	OpSTSYS               // ST.E.SYS (32-bit)
+	OpNOP                 // NOP
+	OpCS2R                // CS2R.32 Rd, SR_CLOCKLO — read the clock register
+	OpBAR                 // BAR.SYNC
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpHMMA:
+		return "HMMA.884"
+	case OpLD64:
+		return "LD.E.64"
+	case OpLD128:
+		return "LD.E.128"
+	case OpLDSYS:
+		return "LD.E.SYS"
+	case OpSTSYS:
+		return "ST.E.SYS"
+	case OpNOP:
+		return "NOP"
+	case OpCS2R:
+		return "CS2R.32"
+	case OpBAR:
+		return "BAR.SYNC"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// RegPair is a pair of adjacent 32-bit registers encoded by its higher
+// register identifier, as inferred in Section III-C: "R8 ... appears from
+// our analysis to represent the register pair <R8,R7>".
+type RegPair struct {
+	High int
+}
+
+// Low returns the lower register of the pair.
+func (r RegPair) Low() int { return r.High - 1 }
+
+func (r RegPair) String() string { return fmt.Sprintf("R%d", r.High) }
+
+// Operand is one HMMA source/destination operand: a register pair with the
+// optional .reuse operand-cache flag and a .COL/.ROW/.T layout annotation.
+type Operand struct {
+	Reg    RegPair
+	Reuse  bool
+	Layout string // "COL", "ROW", "T" or ""
+}
+
+func (o Operand) String() string {
+	s := o.Reg.String()
+	if o.Reuse {
+		s += ".reuse"
+	}
+	if o.Layout != "" {
+		s += "." + o.Layout
+	}
+	return s
+}
+
+// Instr is one SASS instruction of a tensor-core expansion.
+type Instr struct {
+	Op    Opcode
+	DType string // HMMA destination type: F16 or F32
+	CType string // HMMA accumulator type
+	Set   int    // 1-based HMMA set
+	Step  int    // 0-based HMMA step; -1 when unannotated (Turing)
+	Dst   Operand
+	SrcA  Operand
+	SrcB  Operand
+	SrcC  Operand
+}
+
+// String renders the instruction in the style of Figure 9's disassembly.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpHMMA:
+		step := ""
+		if in.Step >= 0 {
+			step = fmt.Sprintf(".STEP%d", in.Step)
+		}
+		return fmt.Sprintf("HMMA.884.%s.%s%s %s, %s, %s, %s;",
+			in.DType, in.CType, step, in.Dst, in.SrcA, in.SrcB, in.SrcC)
+	case OpCS2R:
+		return fmt.Sprintf("CS2R.32 %s, SR_CLOCKLO;", in.Dst.Reg)
+	case OpNOP:
+		return "NOP;"
+	default:
+		return in.Op.String() + ";"
+	}
+}
+
+// Program is an ordered SASS listing.
+type Program []Instr
+
+// String renders the whole listing, one instruction per line.
+func (p Program) String() string {
+	var b strings.Builder
+	for _, in := range p {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HMMAIndices returns the positions of the HMMA instructions in p.
+func (p Program) HMMAIndices() []int {
+	var out []int
+	for i, in := range p {
+		if in.Op == OpHMMA {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Register allocation of Figure 9: the A and B register pairs cycle per
+// set and the destination/accumulator pairs cycle per step.
+var (
+	mixedAPairs = []int{24, 20, 14, 16}
+	mixedBPairs = []int{22, 18, 12, 2}
+	mixedDPairs = []int{8, 10, 4, 6}
+
+	fp16APairs = []int{22, 16, 18, 2}
+	fp16BPairs = []int{12, 14, 8, 10}
+	fp16DPairs = []int{4, 6}
+)
+
+// ExpandMMA expands one Volta wmma.mma of the given configuration into its
+// HMMA sequence, reproducing the register allocation, STEP annotations and
+// reuse flags of Figure 9. The reuse flag is set on the A and B operands
+// of every step but the last of each set, matching the disassembly: the
+// same register pairs feed all steps of a set, so the operand reuse cache
+// (Section III-C, citing Gray's Maxwell analysis) holds them between
+// steps.
+func ExpandMMA(cfg wmma.Config) (Program, error) {
+	if cfg.Arch != wmma.Volta {
+		return expandTuringMMA(cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mode := tcore.ModeFor(cfg)
+	dt, ct := "F16", "F16"
+	if cfg.DType == wmma.F32 {
+		dt = "F32"
+	}
+	if cfg.CType == wmma.F32 {
+		ct = "F32"
+	}
+	aLay, bLay := "COL", "ROW"
+	if mode == tcore.FP16 {
+		// Figure 9b annotates FP16-mode operands with .T.
+		aLay, bLay = "T", "T"
+	}
+	var aPairs, bPairs, dPairs []int
+	if mode == tcore.MixedPrecision {
+		aPairs, bPairs, dPairs = mixedAPairs, mixedBPairs, mixedDPairs
+	} else {
+		aPairs, bPairs, dPairs = fp16APairs, fp16BPairs, fp16DPairs
+	}
+	var prog Program
+	steps := mode.Steps()
+	for set := 0; set < tcore.NumSets; set++ {
+		for step := 0; step < steps; step++ {
+			reuse := step < steps-1
+			d := Operand{Reg: RegPair{dPairs[step]}}
+			prog = append(prog, Instr{
+				Op: OpHMMA, DType: dt, CType: ct, Set: set + 1, Step: step,
+				Dst:  d,
+				SrcA: Operand{Reg: RegPair{aPairs[set]}, Reuse: reuse, Layout: aLay},
+				SrcB: Operand{Reg: RegPair{bPairs[set]}, Reuse: reuse, Layout: bLay},
+				SrcC: d,
+			})
+		}
+	}
+	return prog, nil
+}
+
+// expandTuringMMA expands a Turing wmma.mma: four unannotated HMMAs (one
+// per set), or a single HMMA in 4-bit mode (Section III-C-2).
+func expandTuringMMA(cfg wmma.Config) (Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := tcore.TuringHMMACount(cfg.AType)
+	dt := strings.ToUpper(cfg.DType.String())
+	ct := strings.ToUpper(cfg.CType.String())
+	var prog Program
+	for set := 0; set < n; set++ {
+		d := Operand{Reg: RegPair{4 + 2*set}}
+		prog = append(prog, Instr{
+			Op: OpHMMA, DType: dt, CType: ct, Set: set + 1, Step: -1,
+			Dst:  d,
+			SrcA: Operand{Reg: RegPair{12 + 2*set}},
+			SrcB: Operand{Reg: RegPair{20 + 2*set}},
+			SrcC: d,
+		})
+	}
+	return prog, nil
+}
+
+// ExpandLoad expands a wmma.load into its SASS load sequence for the given
+// fragment mapping and leading dimension: wmma.load.a/b become two
+// LD.E.128 (contiguous layout) or four LD.E.64 (strided layout);
+// wmma.load.c becomes 32-bit LD.E.SYS instructions (Section III-C).
+func ExpandLoad(m *wmma.Mapping, ld int) Program {
+	var prog Program
+	for _, run := range m.LaneRuns(0, ld) {
+		bits := run * m.Elem.Bits()
+		for bits >= 128 {
+			prog = append(prog, Instr{Op: OpLD128})
+			bits -= 128
+		}
+		for bits >= 64 {
+			prog = append(prog, Instr{Op: OpLD64})
+			bits -= 64
+		}
+		for bits > 0 {
+			prog = append(prog, Instr{Op: OpLDSYS})
+			bits -= 32
+		}
+	}
+	return prog
+}
+
+// ExpandStore expands a wmma.store.d into ST.E.SYS instructions, one per
+// 32 bits of the fragment.
+func ExpandStore(m *wmma.Mapping) Program {
+	bits := m.FragmentLen() * m.Elem.Bits()
+	n := (bits + 31) / 32
+	prog := make(Program, n)
+	for i := range prog {
+		prog[i] = Instr{Op: OpSTSYS}
+	}
+	return prog
+}

@@ -1,0 +1,253 @@
+package sass
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tcore"
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+func mixedCfg() wmma.Config {
+	return wmma.Config{Arch: wmma.Volta, Shape: wmma.M16N16K16,
+		ALayout: tensor.RowMajor, BLayout: tensor.ColMajor,
+		AType: wmma.F16, CType: wmma.F32, DType: wmma.F32}
+}
+
+func fp16Cfg() wmma.Config {
+	c := mixedCfg()
+	c.CType, c.DType = wmma.F16, wmma.F16
+	return c
+}
+
+func TestExpandMMACounts(t *testing.T) {
+	mixed, err := ExpandMMA(mixedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed) != 16 {
+		t.Errorf("mixed expands to %d instrs, want 16", len(mixed))
+	}
+	f16, err := ExpandMMA(fp16Cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f16) != 8 {
+		t.Errorf("fp16 expands to %d instrs, want 8", len(f16))
+	}
+}
+
+// The first lines of Figure 9a and 9b, verbatim.
+func TestExpandMMAMatchesFigure9Listing(t *testing.T) {
+	mixed, err := ExpandMMA(mixedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMixed := []string{
+		"HMMA.884.F32.F32.STEP0 R8, R24.reuse.COL, R22.reuse.ROW, R8;",
+		"HMMA.884.F32.F32.STEP1 R10, R24.reuse.COL, R22.reuse.ROW, R10;",
+		"HMMA.884.F32.F32.STEP2 R4, R24.reuse.COL, R22.reuse.ROW, R4;",
+		"HMMA.884.F32.F32.STEP3 R6, R24.COL, R22.ROW, R6;",
+		"HMMA.884.F32.F32.STEP0 R8, R20.reuse.COL, R18.reuse.ROW, R8;",
+	}
+	for i, want := range wantMixed {
+		if got := mixed[i].String(); got != want {
+			t.Errorf("mixed line %d:\n got  %s\n want %s", i, got, want)
+		}
+	}
+	f16, err := ExpandMMA(fp16Cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF16 := []string{
+		"HMMA.884.F16.F16.STEP0 R4, R22.reuse.T, R12.reuse.T, R4;",
+		"HMMA.884.F16.F16.STEP1 R6, R22.T, R12.T, R6;",
+		"HMMA.884.F16.F16.STEP0 R4, R16.reuse.T, R14.reuse.T, R4;",
+	}
+	for i, want := range wantF16 {
+		if got := f16[i].String(); got != want {
+			t.Errorf("fp16 line %d:\n got  %s\n want %s", i, got, want)
+		}
+	}
+}
+
+// Section III-C: the higher register identifier encodes the pair.
+func TestRegisterPairEncoding(t *testing.T) {
+	p := RegPair{8}
+	if p.Low() != 7 {
+		t.Errorf("pair <R8,R7>: Low() = R%d", p.Low())
+	}
+	mixed, _ := ExpandMMA(mixedCfg())
+	// The destination register is also the accumulator source.
+	for _, in := range mixed {
+		if in.Dst.Reg != in.SrcC.Reg {
+			t.Errorf("HMMA set %d step %d: dst %v != srcC %v", in.Set, in.Step, in.Dst.Reg, in.SrcC.Reg)
+		}
+	}
+}
+
+// The reuse flag appears on A/B of every step but the last of each set.
+func TestReuseFlags(t *testing.T) {
+	mixed, _ := ExpandMMA(mixedCfg())
+	for _, in := range mixed {
+		wantReuse := in.Step < 3
+		if in.SrcA.Reuse != wantReuse || in.SrcB.Reuse != wantReuse {
+			t.Errorf("set %d step %d: reuse A=%v B=%v, want %v", in.Set, in.Step, in.SrcA.Reuse, in.SrcB.Reuse, wantReuse)
+		}
+		if in.Dst.Reuse || in.SrcC.Reuse {
+			t.Errorf("set %d step %d: accumulator operands must not carry reuse", in.Set, in.Step)
+		}
+	}
+}
+
+func TestExpandTuring(t *testing.T) {
+	cfg := wmma.Config{Arch: wmma.Turing, Shape: wmma.M16N16K16,
+		ALayout: tensor.RowMajor, BLayout: tensor.ColMajor,
+		AType: wmma.S8, CType: wmma.S32, DType: wmma.S32}
+	p, err := ExpandMMA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 4 {
+		t.Errorf("turing 8-bit expands to %d HMMAs, want 4", len(p))
+	}
+	for _, in := range p {
+		if in.Step != -1 {
+			t.Errorf("turing HMMA carries STEP annotation %d; Turing drops it", in.Step)
+		}
+	}
+	cfg4 := wmma.Config{Arch: wmma.Turing, Shape: wmma.M8N8K32,
+		ALayout: tensor.RowMajor, BLayout: tensor.ColMajor,
+		AType: wmma.S4, CType: wmma.S32, DType: wmma.S32}
+	p4, err := ExpandMMA(cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p4) != 1 {
+		t.Errorf("turing 4-bit expands to %d HMMAs, want 1", len(p4))
+	}
+}
+
+func TestExpandLoadWidths(t *testing.T) {
+	aRow := wmma.MustMap(wmma.Volta, wmma.M16N16K16, wmma.MatrixA, tensor.RowMajor, wmma.F16)
+	p := ExpandLoad(aRow, 16)
+	if len(p) != 2 || p[0].Op != OpLD128 || p[1].Op != OpLD128 {
+		t.Errorf("A row-major load = %v, want two LD.E.128", p)
+	}
+	aCol := wmma.MustMap(wmma.Volta, wmma.M16N16K16, wmma.MatrixA, tensor.ColMajor, wmma.F16)
+	p = ExpandLoad(aCol, 16)
+	if len(p) != 4 {
+		t.Fatalf("A col-major load has %d instrs, want 4", len(p))
+	}
+	for _, in := range p {
+		if in.Op != OpLD64 {
+			t.Errorf("A col-major load uses %v, want LD.E.64", in.Op)
+		}
+	}
+	c32 := wmma.MustMap(wmma.Volta, wmma.M16N16K16, wmma.MatrixC, tensor.RowMajor, wmma.F32)
+	p = ExpandLoad(c32, 16)
+	if len(p) != 8 {
+		t.Fatalf("C load has %d instrs, want 8", len(p))
+	}
+	for _, in := range p {
+		if in.Op != OpLDSYS {
+			t.Errorf("C load uses %v, want LD.E.SYS", in.Op)
+		}
+	}
+}
+
+func TestExpandStore(t *testing.T) {
+	c32 := wmma.MustMap(wmma.Volta, wmma.M16N16K16, wmma.MatrixC, tensor.RowMajor, wmma.F32)
+	if p := ExpandStore(c32); len(p) != 8 {
+		t.Errorf("fp32 store has %d instrs, want 8", len(p))
+	}
+	c16 := wmma.MustMap(wmma.Volta, wmma.M16N16K16, wmma.MatrixC, tensor.RowMajor, wmma.F16)
+	if p := ExpandStore(c16); len(p) != 4 {
+		t.Errorf("fp16 store has %d instrs, want 4 (8 halves = 4 words)", len(p))
+	}
+}
+
+func TestNopAllHMMAButOne(t *testing.T) {
+	p, _ := ExpandMMA(mixedCfg())
+	patched, err := NopAllHMMAButOne(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hmma := patched.HMMAIndices()
+	if len(hmma) != 1 {
+		t.Fatalf("patched program has %d HMMAs, want 1", len(hmma))
+	}
+	if patched[hmma[0]].Set != 2 || patched[hmma[0]].Step != 1 {
+		t.Errorf("kept HMMA is set %d step %d, want set 2 step 1", patched[hmma[0]].Set, patched[hmma[0]].Step)
+	}
+	nops := 0
+	for _, in := range patched {
+		if in.Op == OpNOP {
+			nops++
+		}
+	}
+	if nops != 15 {
+		t.Errorf("%d NOPs, want 15", nops)
+	}
+	if _, err := NopAllHMMAButOne(p, 16); err == nil {
+		t.Error("out-of-range keep index should fail")
+	}
+}
+
+func TestInsertClockReadsAndMeasure(t *testing.T) {
+	p, _ := ExpandMMA(mixedCfg())
+	timing := tcore.VoltaTiming(tcore.MixedPrecision)
+	patched, err := InsertClockReads(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched[0].Op != OpCS2R || patched[len(patched)-1].Op != OpCS2R {
+		t.Error("clock reads should bracket the HMMA sequence")
+	}
+	got, err := MeasureClock(patched, timing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 54 {
+		t.Errorf("full sweep measured %d cycles, want 54 (Figure 9a)", got)
+	}
+}
+
+// Running the Figure 6 sweep over the model regenerates the cumulative
+// column of Figure 9 exactly.
+func TestCumulativeSweepMatchesFigure9(t *testing.T) {
+	p, _ := ExpandMMA(mixedCfg())
+	got, err := CumulativeSweep(p, tcore.VoltaTiming(tcore.MixedPrecision))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 12, 14, 18, 20, 22, 24, 28, 30, 32, 34, 38, 40, 42, 44, 54}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", got, want)
+		}
+	}
+	pf, _ := ExpandMMA(fp16Cfg())
+	gotF, err := CumulativeSweep(pf, tcore.VoltaTiming(tcore.FP16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := []int{12, 21, 25, 34, 38, 47, 51, 64}
+	for i := range wantF {
+		if gotF[i] != wantF[i] {
+			t.Fatalf("fp16 sweep = %v, want %v", gotF, wantF)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p, _ := ExpandMMA(mixedCfg())
+	s := p.String()
+	if !strings.Contains(s, "HMMA.884.F32.F32.STEP3 R6, R16.COL, R2.ROW, R6;") {
+		t.Errorf("listing missing final set 4 line:\n%s", s)
+	}
+	if got := strings.Count(s, "\n"); got != 16 {
+		t.Errorf("listing has %d lines, want 16", got)
+	}
+}

@@ -1,0 +1,198 @@
+// Package stats provides the small statistical toolkit the paper's
+// evaluation methodology needs: Pearson correlation (the 99.6 % IPC
+// correlation headline), standard deviation (the "< 5 %" cycle-accuracy
+// claim for Figure 14a), medians (Figure 16 plots median latencies) and
+// histograms (Figure 15 latency distributions).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs (the mean of the two central elements for
+// even lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using nearest-
+// rank interpolation. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Min returns the smallest element of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and ys,
+// which must have equal nonzero length. Returns 0 when either series has
+// zero variance.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: Correlation needs equal-length nonempty series")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// LinearFit returns the least-squares slope and intercept of ys against xs.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: LinearFit needs equal-length nonempty series")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return 0, my
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx
+}
+
+// MeanAbsPctError returns the mean of |got-want|/|want| over the paired
+// series, skipping entries where want is zero. It is the per-point error
+// metric EXPERIMENTS.md reports next to each correlation.
+func MeanAbsPctError(want, got []float64) float64 {
+	if len(want) != len(got) {
+		panic("stats: MeanAbsPctError needs equal-length series")
+	}
+	var s float64
+	var n int
+	for i := range want {
+		if want[i] == 0 {
+			continue
+		}
+		s += math.Abs(got[i]-want[i]) / math.Abs(want[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Histogram counts xs into nbuckets equal-width buckets spanning [lo, hi).
+// Values outside the range are clamped into the first/last bucket.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram builds a histogram of xs with nbuckets buckets over [lo, hi).
+func NewHistogram(xs []float64, lo, hi float64, nbuckets int) *Histogram {
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbuckets)}
+	if hi <= lo || nbuckets == 0 {
+		return h
+	}
+	w := (hi - lo) / float64(nbuckets)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbuckets {
+			b = nbuckets - 1
+		}
+		h.Counts[b]++
+		h.Total++
+	}
+	return h
+}
+
+// BucketCenter returns the midpoint value of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty-slice mean/variance should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd Median = %v, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", m)
+	}
+	in := []float64{5, 1, 9}
+	Median(in)
+	if in[0] != 5 {
+		t.Error("Median must not mutate its input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {-5, 10}, {110, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(xs, ys); !approx(c, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(xs, neg); !approx(c, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v", c)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if c := Correlation(xs, flat); c != 0 {
+		t.Errorf("zero-variance correlation = %v, want 0", c)
+	}
+}
+
+// Property: correlation is invariant under positive affine transforms.
+func TestCorrelationAffineInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 20)
+		ys := make([]float64, 20)
+		zs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = xs[i] + 0.3*rng.NormFloat64()
+			zs[i] = 5*ys[i] + 11
+		}
+		return approx(Correlation(xs, ys), Correlation(xs, zs), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 5
+	slope, intercept := LinearFit(xs, ys)
+	if !approx(slope, 2, 1e-12) || !approx(intercept, 5, 1e-12) {
+		t.Errorf("LinearFit = %v, %v; want 2, 5", slope, intercept)
+	}
+}
+
+func TestMeanAbsPctError(t *testing.T) {
+	want := []float64{100, 200, 0}
+	got := []float64{110, 180, 5}
+	// |10|/100 = .1, |20|/200 = .1, zero entry skipped → mean .1
+	if e := MeanAbsPctError(want, got); !approx(e, 0.1, 1e-12) {
+		t.Errorf("MeanAbsPctError = %v, want 0.1", e)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.5, 1.5, 1.6, 2.5, -3, 99}
+	h := NewHistogram(xs, 0, 3, 3)
+	if h.Total != 6 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	// -3 clamps to bucket 0, 99 clamps to bucket 2.
+	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[2] != 2 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	if c := h.BucketCenter(1); !approx(c, 1.5, 1e-12) {
+		t.Errorf("BucketCenter(1) = %v", c)
+	}
+}
+
+func TestCorrelationPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Correlation([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,193 @@
+package tcore
+
+import (
+	"fmt"
+
+	"repro/internal/fp16"
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+// Functional execution of the HMMA decomposition. Executing the micro-ops
+// in issue order must produce results bit-identical to wmma.MMA — the K
+// chunks any output element sees ascend across sets, and the per-chunk
+// arithmetic (exact FP16 products, pairwise FP32 sums, per-chunk FP16
+// rounding in FP16 accumulation mode) matches wmma.DotF32/DotF16.
+
+// ModeFor returns the Volta operating mode a configuration selects: mixed
+// precision when the accumulator is FP32, FP16 mode otherwise.
+func ModeFor(cfg wmma.Config) Mode {
+	if cfg.CType == wmma.F32 {
+		return MixedPrecision
+	}
+	return FP16
+}
+
+// ExecuteVolta computes D = A×B + C by running the Volta HMMA schedule in
+// issue order. The result is bit-identical to wmma.MMA(cfg, ...).
+func ExecuteVolta(cfg wmma.Config, a, b, c *tensor.Matrix, outLayout tensor.Layout) (*tensor.Matrix, error) {
+	if cfg.Arch != wmma.Volta {
+		return nil, fmt.Errorf("tcore: ExecuteVolta requires a Volta config, got %v", cfg.Arch)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mode := ModeFor(cfg)
+	ex := newFloatExec(cfg, a, b, c)
+	for _, h := range VoltaSchedule(mode) {
+		for tg := range h.TG {
+			ex.applyChunk(h.TG[tg].D, h.TG[tg].A.ColLo)
+		}
+	}
+	return ex.result(outLayout), nil
+}
+
+// ExecuteTuring computes D = A×B + C by running the Turing per-set
+// schedule in order. Bit-identical to wmma.MMA(cfg, ...).
+func ExecuteTuring(cfg wmma.Config, a, b, c *tensor.Matrix, outLayout tensor.Layout) (*tensor.Matrix, error) {
+	if cfg.Arch != wmma.Turing {
+		return nil, fmt.Errorf("tcore: ExecuteTuring requires a Turing config, got %v", cfg.Arch)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets, err := TuringSchedule(cfg.Shape, cfg.AType)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AType.IsInt() {
+		return execTuringInt(cfg, sets, a, b, c, outLayout), nil
+	}
+	ex := newFloatExec(cfg, a, b, c)
+	for _, s := range sets {
+		// Walk the set's K extent in FEDP-width chunks, ascending.
+		for k := s.A.ColLo; k <= s.A.ColHi; k += wmma.FEDPWidth {
+			ex.applyChunk(s.D, k)
+		}
+	}
+	return ex.result(outLayout), nil
+}
+
+// floatExec holds quantized operands and the running accumulator for the
+// floating-point modes.
+type floatExec struct {
+	cfg   wmma.Config
+	av    [][]fp16.Float16 // [m][k]
+	bv    [][]fp16.Float16 // [n][k]
+	acc32 [][]float32      // mixed precision accumulator
+	acc16 [][]fp16.Float16 // fp16-mode accumulator
+}
+
+func newFloatExec(cfg wmma.Config, a, b, c *tensor.Matrix) *floatExec {
+	s := cfg.Shape
+	ex := &floatExec{cfg: cfg}
+	ex.av = make([][]fp16.Float16, s.M)
+	for i := range ex.av {
+		ex.av[i] = make([]fp16.Float16, s.K)
+		for k := 0; k < s.K; k++ {
+			ex.av[i][k] = fp16.FromFloat64(a.At(i, k))
+		}
+	}
+	ex.bv = make([][]fp16.Float16, s.N)
+	for j := range ex.bv {
+		ex.bv[j] = make([]fp16.Float16, s.K)
+		for k := 0; k < s.K; k++ {
+			ex.bv[j][k] = fp16.FromFloat64(b.At(k, j))
+		}
+	}
+	if cfg.CType == wmma.F32 {
+		ex.acc32 = make([][]float32, s.M)
+		for i := range ex.acc32 {
+			ex.acc32[i] = make([]float32, s.N)
+			for j := 0; j < s.N; j++ {
+				ex.acc32[i][j] = float32(c.At(i, j))
+			}
+		}
+	} else {
+		ex.acc16 = make([][]fp16.Float16, s.M)
+		for i := range ex.acc16 {
+			ex.acc16[i] = make([]fp16.Float16, s.N)
+			for j := 0; j < s.N; j++ {
+				ex.acc16[i][j] = fp16.FromFloat64(c.At(i, j))
+			}
+		}
+	}
+	return ex
+}
+
+// applyChunk accumulates one FEDP-width K chunk starting at kLo into every
+// accumulator element of the d sub-tile.
+func (ex *floatExec) applyChunk(d SubTile, kLo int) {
+	for i := d.RowLo; i <= d.RowHi; i++ {
+		for j := d.ColLo; j <= d.ColHi; j++ {
+			a := ex.av[i][kLo : kLo+wmma.FEDPWidth]
+			b := ex.bv[j][kLo : kLo+wmma.FEDPWidth]
+			if ex.acc32 != nil {
+				ex.acc32[i][j] = wmma.DotF32(ex.acc32[i][j], a, b)
+			} else {
+				ex.acc16[i][j] = wmma.DotF16(ex.acc16[i][j], a, b)
+			}
+		}
+	}
+}
+
+func (ex *floatExec) result(outLayout tensor.Layout) *tensor.Matrix {
+	s := ex.cfg.Shape
+	d := tensor.New(s.M, s.N, outLayout)
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			var out float64
+			if ex.acc32 != nil {
+				out = float64(ex.acc32[i][j])
+			} else {
+				out = ex.acc16[i][j].Float64()
+			}
+			if ex.cfg.DType == wmma.F16 {
+				out = fp16.FromFloat64(out).Float64()
+			}
+			if ex.cfg.Satf {
+				out = wmma.SaturateFloat(out)
+			}
+			d.Set(i, j, out)
+		}
+	}
+	return d
+}
+
+func execTuringInt(cfg wmma.Config, sets []TuringSet, a, b, c *tensor.Matrix, outLayout tensor.Layout) *tensor.Matrix {
+	s := cfg.Shape
+	acc := make([][]int64, s.M)
+	for i := range acc {
+		acc[i] = make([]int64, s.N)
+		for j := 0; j < s.N; j++ {
+			acc[i][j] = int64(int32(c.At(i, j)))
+		}
+	}
+	for _, set := range sets {
+		for i := set.D.RowLo; i <= set.D.RowHi; i++ {
+			for j := set.D.ColLo; j <= set.D.ColHi; j++ {
+				for k := set.A.ColLo; k <= set.A.ColHi; k++ {
+					acc[i][j] += int64(wmma.QuantizeInt(cfg.AType, a.At(i, k))) *
+						int64(wmma.QuantizeInt(cfg.AType, b.At(k, j)))
+				}
+			}
+		}
+	}
+	d := tensor.New(s.M, s.N, outLayout)
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			v := acc[i][j]
+			if cfg.Satf {
+				if v > 1<<31-1 {
+					v = 1<<31 - 1
+				} else if v < -(1 << 31) {
+					v = -(1 << 31)
+				}
+			} else {
+				v = int64(int32(v))
+			}
+			d.Set(i, j, float64(v))
+		}
+	}
+	return d
+}

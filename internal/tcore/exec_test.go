@@ -1,0 +1,86 @@
+package tcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/wmma"
+)
+
+// The decomposition property at the heart of the model: executing the HMMA
+// schedule micro-op by micro-op must produce exactly the same bits as the
+// monolithic wmma.mma functional model, for every configuration, on
+// arbitrary (not merely exactly-representable) inputs.
+func TestExecuteVoltaMatchesMMABitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for _, cfg := range wmma.VoltaConfigs() {
+		for trial := 0; trial < 4; trial++ {
+			a := tensor.New(16, 16, cfg.ALayout)
+			b := tensor.New(16, 16, cfg.BLayout)
+			c := tensor.New(16, 16, tensor.RowMajor)
+			a.FillFunc(func(int, int) float64 { return rng.NormFloat64() })
+			b.FillFunc(func(int, int) float64 { return rng.NormFloat64() })
+			c.FillFunc(func(int, int) float64 { return rng.NormFloat64() * 10 })
+			want := wmma.MustMMA(cfg, a, b, c, tensor.RowMajor)
+			got, err := ExecuteVolta(cfg, a, b, c, tensor.RowMajor)
+			if err != nil {
+				t.Fatalf("%v: %v", cfg, err)
+			}
+			if d := tensor.MaxAbsDiff(got, want); d != 0 {
+				t.Fatalf("%v trial %d: decomposed execution differs by %g", cfg, trial, d)
+			}
+		}
+	}
+}
+
+func TestExecuteTuringMatchesMMABitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, cfg := range wmma.TuringConfigs() {
+		for trial := 0; trial < 3; trial++ {
+			a := tensor.New(cfg.Shape.M, cfg.Shape.K, cfg.ALayout)
+			b := tensor.New(cfg.Shape.K, cfg.Shape.N, cfg.BLayout)
+			c := tensor.New(cfg.Shape.M, cfg.Shape.N, tensor.RowMajor)
+			if cfg.AType.IsInt() {
+				a.FillRandomInt(rng, -8, 7)
+				b.FillRandomInt(rng, -8, 7)
+				c.FillRandomInt(rng, -1000, 1000)
+			} else {
+				a.FillFunc(func(int, int) float64 { return rng.NormFloat64() })
+				b.FillFunc(func(int, int) float64 { return rng.NormFloat64() })
+				c.FillFunc(func(int, int) float64 { return rng.NormFloat64() * 10 })
+			}
+			want := wmma.MustMMA(cfg, a, b, c, tensor.RowMajor)
+			got, err := ExecuteTuring(cfg, a, b, c, tensor.RowMajor)
+			if err != nil {
+				t.Fatalf("%v: %v", cfg, err)
+			}
+			if d := tensor.MaxAbsDiff(got, want); d != 0 {
+				t.Fatalf("%v trial %d: decomposed execution differs by %g", cfg, trial, d)
+			}
+		}
+	}
+}
+
+func TestExecuteRejectsWrongArch(t *testing.T) {
+	volta := wmma.VoltaConfigs()[0]
+	turing := wmma.TuringConfigs()[0]
+	if _, err := ExecuteVolta(turing, nil, nil, nil, tensor.RowMajor); err == nil {
+		t.Error("ExecuteVolta accepted a Turing config")
+	}
+	if _, err := ExecuteTuring(volta, nil, nil, nil, tensor.RowMajor); err == nil {
+		t.Error("ExecuteTuring accepted a Volta config")
+	}
+}
+
+func TestModeFor(t *testing.T) {
+	cfg := wmma.VoltaConfigs()[0]
+	cfg.CType = wmma.F32
+	if ModeFor(cfg) != MixedPrecision {
+		t.Error("F32 accumulator should select mixed precision")
+	}
+	cfg.CType = wmma.F16
+	if ModeFor(cfg) != FP16 {
+		t.Error("F16 accumulator should select FP16 mode")
+	}
+}

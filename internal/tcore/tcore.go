@@ -1,0 +1,241 @@
+// Package tcore models the tensor core microarchitecture of Section IV of
+// the paper: how a warp-level wmma.mma decomposes into HMMA machine
+// instructions organized as "sets" and "steps", which operand sub-tiles
+// each threadgroup touches in each of them (Figures 10 and 11, Table III),
+// and how long the HMMA sequence takes (Figure 9 and Table I).
+//
+// The decomposition here is functional and bit-exact with respect to
+// internal/wmma's MMA: executing the HMMA micro-ops in issue order with
+// four-element-dot-product arithmetic produces the same result as the
+// monolithic instruction, which the tests assert for every configuration.
+package tcore
+
+import (
+	"fmt"
+
+	"repro/internal/wmma"
+)
+
+// Mode selects the Volta tensor core operating mode.
+type Mode int
+
+const (
+	// MixedPrecision reads FP16 A/B and an FP32 accumulator; wmma.mma
+	// becomes 16 HMMA instructions (4 sets × 4 steps, Figure 9a).
+	MixedPrecision Mode = iota
+	// FP16 reads FP16 for all three operands; wmma.mma becomes 8 HMMA
+	// instructions (4 sets × 2 steps, Figure 9b).
+	FP16
+)
+
+func (m Mode) String() string {
+	if m == MixedPrecision {
+		return "mixed"
+	}
+	return "fp16"
+}
+
+// Steps returns the number of HMMA steps per set in this mode.
+func (m Mode) Steps() int {
+	if m == MixedPrecision {
+		return 4
+	}
+	return 2
+}
+
+// NumSets is the number of HMMA sets per wmma.mma on Volta; each set
+// consumes one 4-element chunk of the K dimension.
+const NumSets = 4
+
+// SubTile is an inclusive element range [RowLo:RowHi, ColLo:ColHi] of an
+// operand tile, in the [Row_Start : Row_End, Col_Start : Col_End] notation
+// of Table II.
+type SubTile struct{ RowLo, RowHi, ColLo, ColHi int }
+
+func (s SubTile) String() string {
+	return fmt.Sprintf("[%d:%d,%d:%d]", s.RowLo, s.RowHi, s.ColLo, s.ColHi)
+}
+
+// Rows and Cols return the extent sizes.
+func (s SubTile) Rows() int { return s.RowHi - s.RowLo + 1 }
+func (s SubTile) Cols() int { return s.ColHi - s.ColLo + 1 }
+
+// TGWork is the work one threadgroup performs during one HMMA instruction:
+// the A sub-tile it multiplies, the B sub-tile, and the C/D sub-tile it
+// accumulates into.
+type TGWork struct {
+	A, B, D SubTile
+}
+
+// HMMA describes one warp-wide HMMA instruction: its set and step
+// annotation and the per-threadgroup sub-tiles it touches.
+type HMMA struct {
+	Index int // issue-order position, 0-based
+	Set   int // 1-based, as in the SASS disassembly
+	Step  int // 0-based STEP<n> annotation
+	TG    [wmma.NumThreadgroups]TGWork
+}
+
+// VoltaSchedule returns the HMMA decomposition of one Volta wmma.mma in
+// the given mode, in issue order.
+//
+// Derivation (Sections III-D/E): threadgroup t owns four A rows starting
+// at aBase(t) and a 4×8 slice of the accumulator at cBase(t). Set n
+// consumes K chunk [4(n-1), 4n-1]. In mixed precision, step 0 and 1 cover
+// accumulator columns cBase.Col..+3 (the B columns loaded by the octet's
+// lower threadgroup) with A row pairs 0-1 and 2-3; steps 2 and 3 repeat
+// for columns +4..+7 (the upper threadgroup's B columns). In FP16 mode the
+// two steps each cover all four A rows and one 4-column half.
+func VoltaSchedule(mode Mode) []HMMA {
+	var out []HMMA
+	steps := mode.Steps()
+	for set := 1; set <= NumSets; set++ {
+		kLo := 4 * (set - 1)
+		for step := 0; step < steps; step++ {
+			h := HMMA{Index: len(out), Set: set, Step: step}
+			for tg := 0; tg < wmma.NumThreadgroups; tg++ {
+				h.TG[tg] = voltaTGWork(mode, tg, kLo, step)
+			}
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func voltaTGWork(mode Mode, tg, kLo, step int) TGWork {
+	aBase := voltaARowBase(tg)
+	cBase := voltaCBase(tg)
+	var rowLo, rowN, colOff int
+	if mode == MixedPrecision {
+		rowLo = aBase + 2*(step%2)
+		rowN = 2
+		colOff = 4 * (step / 2)
+	} else {
+		rowLo = aBase
+		rowN = 4
+		colOff = 4 * step
+	}
+	return TGWork{
+		A: SubTile{rowLo, rowLo + rowN - 1, kLo, kLo + 3},
+		B: SubTile{kLo, kLo + 3, cBase.col + colOff, cBase.col + colOff + 3},
+		D: SubTile{rowLo, rowLo + rowN - 1, cBase.col + colOff, cBase.col + colOff + 3},
+	}
+}
+
+// voltaARowBase mirrors the A segment assignment of internal/wmma
+// (Figure 7a): threadgroups 0/2 → rows 0-3, 4/6 → 4-7, 1/3 → 8-11,
+// 5/7 → 12-15.
+func voltaARowBase(tg int) int {
+	switch tg {
+	case 0, 2:
+		return 0
+	case 4, 6:
+		return 4
+	case 1, 3:
+		return 8
+	default:
+		return 12
+	}
+}
+
+type rc struct{ row, col int }
+
+// voltaCBase mirrors the C segment corners of Figure 7b.
+func voltaCBase(tg int) rc {
+	switch tg {
+	case 0:
+		return rc{0, 0}
+	case 2:
+		return rc{0, 8}
+	case 4:
+		return rc{4, 0}
+	case 6:
+		return rc{4, 8}
+	case 1:
+		return rc{8, 0}
+	case 3:
+		return rc{8, 8}
+	case 5:
+		return rc{12, 0}
+	default:
+		return rc{12, 8}
+	}
+}
+
+// SetExtents returns, for each set, the union over all threadgroups of the
+// A, B and accumulator sub-tiles that set touches — the shaded regions of
+// Figure 10a: set n multiplies A[:, 4(n-1):4n-1] by B[4(n-1):4n-1, :] into
+// the whole 16×16 accumulator.
+func SetExtents(mode Mode) [NumSets]TGWork {
+	var out [NumSets]TGWork
+	var seen [NumSets]bool
+	for _, h := range VoltaSchedule(mode) {
+		s := h.Set - 1
+		for tg := range h.TG {
+			w := h.TG[tg]
+			if !seen[s] {
+				out[s], seen[s] = w, true
+				continue
+			}
+			out[s].A = unionSub(out[s].A, w.A)
+			out[s].B = unionSub(out[s].B, w.B)
+			out[s].D = unionSub(out[s].D, w.D)
+		}
+	}
+	return out
+}
+
+func unionSub(a, b SubTile) SubTile {
+	if b.RowLo < a.RowLo {
+		a.RowLo = b.RowLo
+	}
+	if b.RowHi > a.RowHi {
+		a.RowHi = b.RowHi
+	}
+	if b.ColLo < a.ColLo {
+		a.ColLo = b.ColLo
+	}
+	if b.ColHi > a.ColHi {
+		a.ColHi = b.ColHi
+	}
+	return a
+}
+
+// OuterProductCell is one row of Table III: the symbolic outer-product
+// computation each half-octet performs in a given set and step. Lowercase
+// letters a–d (and e–h) name threadgroup X's (and X+4's) four 4×4 A
+// blocks in K order; uppercase A–D (and E–H) name the B blocks loaded by
+// threadgroup X (and X+4).
+type OuterProductCell struct {
+	Set, Step int
+	TGX       string // computation of threadgroup X
+	TGX4      string // computation of threadgroup X+4
+}
+
+// TableIII reproduces Table III of the paper symbolically.
+func TableIII() []OuterProductCell {
+	var out []OuterProductCell
+	for set := 1; set <= NumSets; set++ {
+		low := string(rune('a' + set - 1))
+		high := string(rune('e' + set - 1))
+		capLow := string(rune('A' + set - 1))
+		capHigh := string(rune('E' + set - 1))
+		for step := 0; step < 4; step++ {
+			rows := "[0:1]"
+			if step%2 == 1 {
+				rows = "[2:3]"
+			}
+			bBlock := capLow
+			if step >= 2 {
+				bBlock = capHigh
+			}
+			out = append(out, OuterProductCell{
+				Set:  set,
+				Step: step,
+				TGX:  low + rows + "×" + bBlock,
+				TGX4: high + rows + "×" + bBlock,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package tcore
+
+import (
+	"testing"
+
+	"repro/internal/wmma"
+)
+
+func TestVoltaScheduleShape(t *testing.T) {
+	mixed := VoltaSchedule(MixedPrecision)
+	if len(mixed) != 16 {
+		t.Fatalf("mixed precision expands to %d HMMAs, want 16 (Figure 9a)", len(mixed))
+	}
+	f16 := VoltaSchedule(FP16)
+	if len(f16) != 8 {
+		t.Fatalf("fp16 mode expands to %d HMMAs, want 8 (Figure 9b)", len(f16))
+	}
+	for i, h := range mixed {
+		if h.Index != i || h.Set != i/4+1 || h.Step != i%4 {
+			t.Errorf("mixed HMMA %d has set %d step %d", i, h.Set, h.Step)
+		}
+	}
+	for i, h := range f16 {
+		if h.Set != i/2+1 || h.Step != i%2 {
+			t.Errorf("fp16 HMMA %d has set %d step %d", i, h.Set, h.Step)
+		}
+	}
+}
+
+// Figure 10a: in each set a threadgroup multiplies a 4×4 sub-tile of A
+// with a 4×8 sub-tile of B, accumulating into a 4×8 sub-tile of D. For
+// threadgroup 0, set 1 uses the first four rows and columns of A and the
+// first four rows / first eight columns of B.
+func TestVoltaPerSetExtentsPerThreadgroup(t *testing.T) {
+	for _, mode := range []Mode{MixedPrecision, FP16} {
+		sched := VoltaSchedule(mode)
+		// Union the work of threadgroup 0 over set 1's steps.
+		var a, b, d SubTile
+		first := true
+		for _, h := range sched {
+			if h.Set != 1 {
+				continue
+			}
+			w := h.TG[0]
+			if first {
+				a, b, d, first = w.A, w.B, w.D, false
+				continue
+			}
+			a, b, d = unionSub(a, w.A), unionSub(b, w.B), unionSub(d, w.D)
+		}
+		if (a != SubTile{0, 3, 0, 3}) {
+			t.Errorf("%v: TG0 set1 A extent %v, want [0:3,0:3]", mode, a)
+		}
+		if (b != SubTile{0, 3, 0, 7}) {
+			t.Errorf("%v: TG0 set1 B extent %v, want [0:3,0:7]", mode, b)
+		}
+		if (d != SubTile{0, 3, 0, 7}) {
+			t.Errorf("%v: TG0 set1 D extent %v, want [0:3,0:7]", mode, d)
+		}
+	}
+}
+
+// Figure 10b: each mixed-precision step is a 2×4 A sub-tile times a 4×4 B
+// sub-tile into a 2×4 accumulator slice. Figure 10c: each FP16 step is
+// 4×4 × 4×4 into 4×4.
+func TestVoltaPerStepShapes(t *testing.T) {
+	for _, h := range VoltaSchedule(MixedPrecision) {
+		for tg, w := range h.TG {
+			if w.A.Rows() != 2 || w.A.Cols() != 4 {
+				t.Fatalf("mixed HMMA %d tg %d A %v, want 2×4", h.Index, tg, w.A)
+			}
+			if w.B.Rows() != 4 || w.B.Cols() != 4 {
+				t.Fatalf("mixed HMMA %d tg %d B %v, want 4×4", h.Index, tg, w.B)
+			}
+			if w.D.Rows() != 2 || w.D.Cols() != 4 {
+				t.Fatalf("mixed HMMA %d tg %d D %v, want 2×4", h.Index, tg, w.D)
+			}
+		}
+	}
+	for _, h := range VoltaSchedule(FP16) {
+		for tg, w := range h.TG {
+			if w.A.Rows() != 4 || w.A.Cols() != 4 || w.B.Rows() != 4 || w.B.Cols() != 4 || w.D.Rows() != 4 || w.D.Cols() != 4 {
+				t.Fatalf("fp16 HMMA %d tg %d A %v B %v D %v, want all 4×4", h.Index, tg, w.A, w.B, w.D)
+			}
+		}
+	}
+}
+
+// Every output element must be accumulated exactly once per set, and the
+// K chunks ascend with the set number.
+func TestVoltaScheduleCoverage(t *testing.T) {
+	for _, mode := range []Mode{MixedPrecision, FP16} {
+		for set := 1; set <= NumSets; set++ {
+			var hits [16][16]int
+			for _, h := range VoltaSchedule(mode) {
+				if h.Set != set {
+					continue
+				}
+				for _, w := range h.TG {
+					if w.A.ColLo != 4*(set-1) || w.A.ColHi != 4*set-1 {
+						t.Fatalf("%v set %d uses K %d:%d", mode, set, w.A.ColLo, w.A.ColHi)
+					}
+					for i := w.D.RowLo; i <= w.D.RowHi; i++ {
+						for j := w.D.ColLo; j <= w.D.ColHi; j++ {
+							hits[i][j]++
+						}
+					}
+				}
+			}
+			for i := range hits {
+				for j := range hits[i] {
+					if hits[i][j] != 1 {
+						t.Fatalf("%v set %d: element (%d,%d) accumulated %d times", mode, set, i, j, hits[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The octet invariant of Section III-E: threadgroup X's steps 2–3 consume
+// B columns loaded only by threadgroup X+4, and vice versa.
+func TestVoltaOctetCrossUse(t *testing.T) {
+	sched := VoltaSchedule(MixedPrecision)
+	// Threadgroup 0 loads B columns 0–3, threadgroup 4 loads 4–7.
+	for _, h := range sched {
+		w0, w4 := h.TG[0], h.TG[4]
+		switch {
+		case h.Step < 2:
+			if w0.B.ColLo != 0 || w4.B.ColLo != 0 {
+				t.Fatalf("step %d should use TG0's B columns, got TG0 %v TG4 %v", h.Step, w0.B, w4.B)
+			}
+		default:
+			if w0.B.ColLo != 4 || w4.B.ColLo != 4 {
+				t.Fatalf("step %d should use TG4's B columns, got TG0 %v TG4 %v", h.Step, w0.B, w4.B)
+			}
+		}
+	}
+}
+
+func TestSetExtents(t *testing.T) {
+	for _, mode := range []Mode{MixedPrecision, FP16} {
+		ext := SetExtents(mode)
+		for s, w := range ext {
+			if (w.A != SubTile{0, 15, 4 * s, 4*s + 3}) {
+				t.Errorf("%v set %d A extent %v", mode, s+1, w.A)
+			}
+			if (w.B != SubTile{4 * s, 4*s + 3, 0, 15}) {
+				t.Errorf("%v set %d B extent %v", mode, s+1, w.B)
+			}
+			if (w.D != SubTile{0, 15, 0, 15}) {
+				t.Errorf("%v set %d D extent %v", mode, s+1, w.D)
+			}
+		}
+	}
+}
+
+// Table III, spot-checked against the paper row by row.
+func TestTableIII(t *testing.T) {
+	rows := TableIII()
+	if len(rows) != 16 {
+		t.Fatalf("TableIII has %d rows, want 16", len(rows))
+	}
+	want := map[[2]int][2]string{
+		{1, 0}: {"a[0:1]×A", "e[0:1]×A"},
+		{1, 1}: {"a[2:3]×A", "e[2:3]×A"},
+		{1, 2}: {"a[0:1]×E", "e[0:1]×E"},
+		{1, 3}: {"a[2:3]×E", "e[2:3]×E"},
+		{2, 0}: {"b[0:1]×B", "f[0:1]×B"},
+		{2, 3}: {"b[2:3]×F", "f[2:3]×F"},
+		{3, 1}: {"c[2:3]×C", "g[2:3]×C"},
+		{3, 2}: {"c[0:1]×G", "g[0:1]×G"},
+		{4, 0}: {"d[0:1]×D", "h[0:1]×D"},
+		{4, 3}: {"d[2:3]×H", "h[2:3]×H"},
+	}
+	for _, r := range rows {
+		if w, ok := want[[2]int{r.Set, r.Step}]; ok {
+			if r.TGX != w[0] || r.TGX4 != w[1] {
+				t.Errorf("set %d step %d: got %q/%q, want %q/%q", r.Set, r.Step, r.TGX, r.TGX4, w[0], w[1])
+			}
+		}
+	}
+}
+
+func TestTuringScheduleShapes(t *testing.T) {
+	cases := []struct {
+		shape wmma.Shape
+		elem  wmma.Precision
+		nSets int
+	}{
+		{wmma.M16N16K16, wmma.F16, 4},
+		{wmma.M32N8K16, wmma.F16, 4},
+		{wmma.M8N32K16, wmma.F16, 4},
+		{wmma.M16N16K16, wmma.S8, 4},
+		{wmma.M32N8K16, wmma.S8, 4},
+		{wmma.M8N32K16, wmma.S8, 4},
+		{wmma.M8N8K32, wmma.S4, 1},
+	}
+	for _, c := range cases {
+		sets, err := TuringSchedule(c.shape, c.elem)
+		if err != nil {
+			t.Fatalf("%v %v: %v", c.shape, c.elem, err)
+		}
+		if len(sets) != c.nSets {
+			t.Errorf("%v %v: %d sets, want %d", c.shape, c.elem, len(sets), c.nSets)
+		}
+		if got := TuringHMMACount(c.elem); got != c.nSets {
+			t.Errorf("%v: HMMA count %d, want %d", c.elem, got, c.nSets)
+		}
+	}
+}
+
+// Figure 11's patterns: 16-bit sets pair an 8-deep K half with one half of
+// the output; 8-bit sets keep full K and cover an output quarter. Checked
+// via total K coverage per output element.
+func TestTuringScheduleCoverage(t *testing.T) {
+	for _, c := range []struct {
+		shape wmma.Shape
+		elem  wmma.Precision
+	}{
+		{wmma.M16N16K16, wmma.F16}, {wmma.M32N8K16, wmma.F16}, {wmma.M8N32K16, wmma.F16},
+		{wmma.M16N16K16, wmma.S8}, {wmma.M32N8K16, wmma.S8}, {wmma.M8N32K16, wmma.S8},
+		{wmma.M8N8K32, wmma.S4},
+	} {
+		sets, err := TuringSchedule(c.shape, c.elem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kCover := make([][]int, c.shape.M)
+		for i := range kCover {
+			kCover[i] = make([]int, c.shape.N)
+		}
+		for _, s := range sets {
+			if s.A.RowLo != s.D.RowLo || s.A.RowHi != s.D.RowHi {
+				t.Fatalf("%v %v set %d: A rows %v disagree with D rows %v", c.shape, c.elem, s.Set, s.A, s.D)
+			}
+			if s.B.ColLo != s.D.ColLo || s.B.ColHi != s.D.ColHi {
+				t.Fatalf("%v %v set %d: B cols %v disagree with D cols %v", c.shape, c.elem, s.Set, s.B, s.D)
+			}
+			if s.A.ColLo != s.B.RowLo || s.A.ColHi != s.B.RowHi {
+				t.Fatalf("%v %v set %d: A K %v disagrees with B K %v", c.shape, c.elem, s.Set, s.A, s.B)
+			}
+			for i := s.D.RowLo; i <= s.D.RowHi; i++ {
+				for j := s.D.ColLo; j <= s.D.ColHi; j++ {
+					kCover[i][j] += s.A.Cols()
+				}
+			}
+		}
+		for i := range kCover {
+			for j := range kCover[i] {
+				if kCover[i][j] != c.shape.K {
+					t.Fatalf("%v %v: element (%d,%d) accumulates %d of %d K", c.shape, c.elem, i, j, kCover[i][j], c.shape.K)
+				}
+			}
+		}
+	}
+}

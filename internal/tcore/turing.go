@@ -1,0 +1,124 @@
+package tcore
+
+import (
+	"fmt"
+
+	"repro/internal/wmma"
+)
+
+// Turing HMMA decomposition (Section III-D-2, Figure 11).
+//
+// On Turing each wmma.mma becomes four HMMA instructions — one per set,
+// with no STEP annotation ("one possibility is similar steps are sequenced
+// by the microarchitecture using a state-machine") — except 4-bit mode,
+// which is a single HMMA. The paper's observations, encoded here:
+//
+//   - 16-bit modes multiply one 8-deep K half against one half of the
+//     output columns (16×16×16, 8×32×16) or rows (32×8×16) per set, so
+//     every output element is touched by exactly two sets;
+//   - 8-bit modes keep the full K=16 depth and cover one quarter of the
+//     output per set (halves of M × halves of N for 16×16×16, quarters of
+//     M for 32×8×16, quarters of N for 8×32×16);
+//   - 4-bit mode computes the whole 8×8×32 tile at once.
+//
+// Sets are ordered so that the K chunks seen by any single output element
+// ascend, keeping the accumulation order identical to wmma.MMA.
+
+// TuringSet is the warp-wide extent of one Turing HMMA instruction.
+type TuringSet struct {
+	Set     int // 1-based
+	A, B, D SubTile
+}
+
+// TuringSchedule returns the per-set extents for the given shape and
+// operand precision.
+func TuringSchedule(shape wmma.Shape, elem wmma.Precision) ([]TuringSet, error) {
+	mk := func(a, b, d SubTile) TuringSet { return TuringSet{A: a, B: b, D: d} }
+	var sets []TuringSet
+	switch {
+	case elem == wmma.F16:
+		switch shape {
+		case wmma.M16N16K16, wmma.M8N32K16:
+			// Column halves within a K half; K halves ascend last so each
+			// element sees k chunks in order.
+			nHalf := shape.N / 2
+			for _, k := range []int{0, 8} {
+				for _, c := range []int{0, nHalf} {
+					sets = append(sets, mk(
+						SubTile{0, shape.M - 1, k, k + 7},
+						SubTile{k, k + 7, c, c + nHalf - 1},
+						SubTile{0, shape.M - 1, c, c + nHalf - 1},
+					))
+				}
+			}
+		case wmma.M32N8K16:
+			// Row halves within a K half.
+			for _, k := range []int{0, 8} {
+				for _, r := range []int{0, 16} {
+					sets = append(sets, mk(
+						SubTile{r, r + 15, k, k + 7},
+						SubTile{k, k + 7, 0, shape.N - 1},
+						SubTile{r, r + 15, 0, shape.N - 1},
+					))
+				}
+			}
+		default:
+			return nil, fmt.Errorf("tcore: turing f16 shape %v unsupported", shape)
+		}
+	case elem == wmma.S8 || elem == wmma.U8:
+		switch shape {
+		case wmma.M16N16K16:
+			for _, r := range []int{0, 8} {
+				for _, c := range []int{0, 8} {
+					sets = append(sets, mk(
+						SubTile{r, r + 7, 0, 15},
+						SubTile{0, 15, c, c + 7},
+						SubTile{r, r + 7, c, c + 7},
+					))
+				}
+			}
+		case wmma.M32N8K16:
+			for r := 0; r < 32; r += 8 {
+				sets = append(sets, mk(
+					SubTile{r, r + 7, 0, 15},
+					SubTile{0, 15, 0, 7},
+					SubTile{r, r + 7, 0, 7},
+				))
+			}
+		case wmma.M8N32K16:
+			for c := 0; c < 32; c += 8 {
+				sets = append(sets, mk(
+					SubTile{0, 7, 0, 15},
+					SubTile{0, 15, c, c + 7},
+					SubTile{0, 7, c, c + 7},
+				))
+			}
+		default:
+			return nil, fmt.Errorf("tcore: turing 8-bit shape %v unsupported", shape)
+		}
+	case elem == wmma.S4 || elem == wmma.U4:
+		if shape != wmma.M8N8K32 {
+			return nil, fmt.Errorf("tcore: turing 4-bit shape %v unsupported", shape)
+		}
+		sets = append(sets, mk(
+			SubTile{0, 7, 0, 31},
+			SubTile{0, 31, 0, 7},
+			SubTile{0, 7, 0, 7},
+		))
+	default:
+		return nil, fmt.Errorf("tcore: turing precision %v unsupported", elem)
+	}
+	for i := range sets {
+		sets[i].Set = i + 1
+	}
+	return sets, nil
+}
+
+// TuringHMMACount returns the number of HMMA instructions one wmma.mma
+// expands to on Turing: 4 for every mode except 4-bit, which is 1.
+func TuringHMMACount(elem wmma.Precision) int {
+	if elem == wmma.S4 || elem == wmma.U4 {
+		return 1
+	}
+	return 4
+}

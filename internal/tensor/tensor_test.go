@@ -1,0 +1,172 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexLayouts(t *testing.T) {
+	r := New(3, 5, RowMajor)
+	c := New(3, 5, ColMajor)
+	if r.Stride != 5 || c.Stride != 3 {
+		t.Fatalf("strides: row %d col %d, want 5 and 3", r.Stride, c.Stride)
+	}
+	if r.Index(1, 2) != 7 {
+		t.Errorf("row-major Index(1,2) = %d, want 7", r.Index(1, 2))
+	}
+	if c.Index(1, 2) != 7 {
+		t.Errorf("col-major Index(1,2) = %d, want 7", c.Index(1, 2))
+	}
+	if c.Index(2, 1) != 5 {
+		t.Errorf("col-major Index(2,1) = %d, want 5", c.Index(2, 1))
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	for _, layout := range []Layout{RowMajor, ColMajor} {
+		m := New(4, 7, layout)
+		m.FillFunc(func(i, j int) float64 { return float64(100*i + j) })
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 7; j++ {
+				if m.At(i, j) != float64(100*i+j) {
+					t.Fatalf("layout %v At(%d,%d) = %v", layout, i, j, m.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestReinterpretPreservesValues(t *testing.T) {
+	m := New(5, 3, RowMajor)
+	m.FillSequential()
+	r := m.Reinterpret(ColMajor)
+	if r.Layout != ColMajor || !Equal(m, r, 0) {
+		t.Fatal("Reinterpret changed logical contents")
+	}
+	if m.Data[1] == r.Data[1] {
+		t.Fatal("Reinterpret should change the memory order of a non-square fill")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := New(2, 3, RowMajor)
+	m.FillSequential()
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("Transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !Equal(m, tr.Transpose(), 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestSub(t *testing.T) {
+	m := New(8, 8, RowMajor)
+	m.FillSequential()
+	s := m.Sub(2, 3, 4, 2)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 2; j++ {
+			if s.At(i, j) != m.At(2+i, 3+j) {
+				t.Fatalf("Sub mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGemmIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := New(6, 6, RowMajor)
+	a.FillRandomFP16(rng)
+	id := New(6, 6, ColMajor)
+	id.FillFunc(func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		return 0
+	})
+	zero := New(6, 6, RowMajor)
+	d := Gemm(a, id, zero, RowMajor)
+	if !Equal(a, d, 0) {
+		t.Fatal("A × I + 0 != A")
+	}
+}
+
+func TestGemmKnown(t *testing.T) {
+	a := New(2, 3, RowMajor)
+	a.FillFunc(func(i, j int) float64 { return float64(i*3 + j + 1) }) // 1..6
+	b := New(3, 2, ColMajor)
+	b.FillFunc(func(i, j int) float64 { return float64(i*2 + j + 1) }) // 1..6
+	c := New(2, 2, RowMajor)
+	c.FillConst(10)
+	d := Gemm(a, b, c, RowMajor)
+	// [1 2 3; 4 5 6] × [1 2; 3 4; 5 6] = [22 28; 49 64]
+	want := [][]float64{{32, 38}, {59, 74}}
+	for i := range want {
+		for j := range want[i] {
+			if d.At(i, j) != want[i][j] {
+				t.Errorf("D(%d,%d) = %v, want %v", i, j, d.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestGemmShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gemm with mismatched shapes should panic")
+		}
+	}()
+	Gemm(New(2, 3, RowMajor), New(2, 3, RowMajor), New(2, 3, RowMajor), RowMajor)
+}
+
+// Property: (A×B)ᵀ == Bᵀ×Aᵀ for the float64 reference GEMM.
+func TestGemmTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(4, 5, RowMajor)
+		b := New(5, 3, RowMajor)
+		a.FillRandomInt(rng, -3, 3)
+		b.FillRandomInt(rng, -3, 3)
+		zab := New(4, 3, RowMajor)
+		zba := New(3, 4, RowMajor)
+		left := Gemm(a, b, zab, RowMajor).Transpose()
+		right := Gemm(b.Transpose(), a.Transpose(), zba, RowMajor)
+		return Equal(left, right, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := New(2, 2, RowMajor)
+	b := New(2, 2, ColMajor)
+	a.FillConst(1)
+	b.FillConst(1)
+	b.Set(1, 0, 3)
+	if d := MaxAbsDiff(a, b); d != 2 {
+		t.Fatalf("MaxAbsDiff = %v, want 2", d)
+	}
+}
+
+func TestFillRandomFP16ExactlyRepresentable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := New(16, 16, RowMajor)
+	m.FillRandomFP16(rng)
+	for _, v := range m.Data {
+		if v*32 != float64(int(v*32)) {
+			t.Fatalf("value %v is not a multiple of 1/32", v)
+		}
+		if v < -4 || v >= 4 {
+			t.Fatalf("value %v outside [-4,4)", v)
+		}
+	}
+}

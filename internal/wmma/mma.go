@@ -1,0 +1,234 @@
+package wmma
+
+import (
+	"math"
+
+	"repro/internal/fp16"
+	"repro/internal/tensor"
+)
+
+// Functional model of the wmma.mma PTX instruction.
+//
+// The arithmetic follows the microarchitecture of Section IV: each output
+// element is produced by accumulating four-element dot products (FEDPs).
+// Inside a FEDP the four FP16×FP16 products are formed exactly (a product
+// of two binary16 values is exact in binary32), summed pairwise in FP32,
+// and the FEDP result is added to the accumulator — in FP32 for mixed
+// precision, or rounded back to FP16 per step in FP16 mode. The K loop is
+// walked in ascending 4-element chunks, matching the set ordering the
+// HMMA decomposition uses, so internal/tcore's set/step execution produces
+// bit-identical results (a property the tests assert).
+
+// FEDPWidth is the dot-product width of one tensor core lane: four
+// multiplies feeding a three-stage adder tree.
+const FEDPWidth = 4
+
+// fedp32 computes one four-element dot product: exact FP16 products summed
+// pairwise in FP32.
+func fedp32(a, b []fp16.Float16) float32 {
+	p0 := fp16.MulTo32(a[0], b[0])
+	p1 := fp16.MulTo32(a[1], b[1])
+	p2 := fp16.MulTo32(a[2], b[2])
+	p3 := fp16.MulTo32(a[3], b[3])
+	return (p0 + p1) + (p2 + p3)
+}
+
+// DotF32 accumulates the length-K dot product of a and b onto acc in FP32,
+// one FEDP chunk at a time. len(a) must equal len(b) and be a multiple of
+// FEDPWidth.
+func DotF32(acc float32, a, b []fp16.Float16) float32 {
+	for k := 0; k < len(a); k += FEDPWidth {
+		acc += fedp32(a[k:k+FEDPWidth], b[k:k+FEDPWidth])
+	}
+	return acc
+}
+
+// DotF16 accumulates the dot product onto an FP16 accumulator: each FEDP
+// result is added in FP32 and rounded back to binary16 before the next
+// chunk, modeling the FP16-mode writeback between HMMA sets.
+func DotF16(acc fp16.Float16, a, b []fp16.Float16) fp16.Float16 {
+	for k := 0; k < len(a); k += FEDPWidth {
+		s := fedp32(a[k:k+FEDPWidth], b[k:k+FEDPWidth])
+		acc = fp16.FromFloat32(acc.Float32() + s)
+	}
+	return acc
+}
+
+// MMA computes the warp-wide D = A×B + C for one tile under cfg. Inputs
+// and output are host matrices holding the logical element values; the
+// element values are quantized to cfg's operand precisions on the way in
+// (float64 → binary16 for F16 operands, truncation to the integer range
+// for integer operands), exactly as a wmma.load of memory holding those
+// types would see them.
+//
+// The returned matrix is M×N in the requested layout.
+func MMA(cfg Config, a, b, c *tensor.Matrix, outLayout tensor.Layout) (*tensor.Matrix, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.Shape
+	d := tensor.New(s.M, s.N, outLayout)
+	if cfg.AType.IsInt() {
+		mmaInt(cfg, a, b, c, d)
+		return d, nil
+	}
+	mmaFloat(cfg, a, b, c, d)
+	return d, nil
+}
+
+// MustMMA is MMA but panics on configuration errors.
+func MustMMA(cfg Config, a, b, c *tensor.Matrix, outLayout tensor.Layout) *tensor.Matrix {
+	d, err := MMA(cfg, a, b, c, outLayout)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func mmaFloat(cfg Config, a, b, c, d *tensor.Matrix) {
+	s := cfg.Shape
+	// Quantize A and B columns/rows once.
+	av := make([][]fp16.Float16, s.M)
+	for i := range av {
+		av[i] = make([]fp16.Float16, s.K)
+		for k := 0; k < s.K; k++ {
+			av[i][k] = fp16.FromFloat64(a.At(i, k))
+		}
+	}
+	bv := make([][]fp16.Float16, s.N)
+	for j := range bv {
+		bv[j] = make([]fp16.Float16, s.K)
+		for k := 0; k < s.K; k++ {
+			bv[j][k] = fp16.FromFloat64(b.At(k, j))
+		}
+	}
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			var out float64
+			if cfg.CType == F32 {
+				acc := float32(c.At(i, j))
+				acc = DotF32(acc, av[i], bv[j])
+				out = float64(acc)
+			} else {
+				acc := fp16.FromFloat64(c.At(i, j))
+				acc = DotF16(acc, av[i], bv[j])
+				out = acc.Float64()
+			}
+			if cfg.DType == F16 {
+				out = fp16.FromFloat64(out).Float64()
+			}
+			if cfg.Satf {
+				out = satFloat(out)
+			}
+			d.Set(i, j, out)
+		}
+	}
+}
+
+// SaturateFloat implements the .satf qualifier for floating point: the
+// result is clamped to the maximum finite binary16 magnitude and NaN
+// becomes +0, per the PTX specification's "saturate to finite value"
+// semantics. Exported so internal/tcore's decomposed execution applies the
+// identical final conversion.
+func SaturateFloat(v float64) float64 { return satFloat(v) }
+
+// satFloat implements the .satf qualifier for floating point: the result
+// is clamped to the maximum finite magnitude and NaN becomes +0, per the
+// PTX specification's "saturate to finite value" semantics.
+func satFloat(v float64) float64 {
+	const maxF16 = 65504
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v > maxF16:
+		return maxF16
+	case v < -maxF16:
+		return -maxF16
+	}
+	return v
+}
+
+func mmaInt(cfg Config, a, b, c, d *tensor.Matrix) {
+	s := cfg.Shape
+	qa := intQuantizer(cfg.AType)
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			acc := int64(int32(c.At(i, j)))
+			for k := 0; k < s.K; k++ {
+				acc += int64(qa(a.At(i, k))) * int64(qa(b.At(k, j)))
+			}
+			if cfg.Satf {
+				if acc > math.MaxInt32 {
+					acc = math.MaxInt32
+				} else if acc < math.MinInt32 {
+					acc = math.MinInt32
+				}
+			} else {
+				acc = int64(int32(acc)) // wraparound semantics
+			}
+			d.Set(i, j, float64(acc))
+		}
+	}
+}
+
+// QuantizeInt truncates a float64 host value into the given integer
+// operand range, the way the device memory image would hold it.
+func QuantizeInt(p Precision, v float64) int32 { return intQuantizer(p)(v) }
+
+// intQuantizer returns a function truncating a float64 host value into the
+// given integer operand range, the way the device memory image would hold
+// it.
+func intQuantizer(p Precision) func(float64) int32 {
+	var lo, hi int32
+	switch p {
+	case S8:
+		lo, hi = -128, 127
+	case U8:
+		lo, hi = 0, 255
+	case S4:
+		lo, hi = -8, 7
+	case U4:
+		lo, hi = 0, 15
+	default:
+		panic("wmma: not an integer operand type")
+	}
+	return func(v float64) int32 {
+		x := int32(v)
+		if x < lo {
+			x = lo
+		}
+		if x > hi {
+			x = hi
+		}
+		return x
+	}
+}
+
+// ReferenceGemm returns the float64 D = A×B + C for comparison with MMA
+// results; the expected absolute error of the FP16 datapath against this
+// reference is bounded by Tolerance.
+func ReferenceGemm(cfg Config, a, b, c *tensor.Matrix) *tensor.Matrix {
+	return tensor.Gemm(a, b, c, tensor.RowMajor)
+}
+
+// Tolerance returns a conservative bound on |MMA - float64 reference| for
+// inputs bounded by maxAbs, accounting for input quantization, FP32 FEDP
+// rounding and (in FP16 accumulation mode) per-chunk rounding.
+func Tolerance(cfg Config, maxAbs float64) float64 {
+	if cfg.AType.IsInt() {
+		return 0 // integer arithmetic is exact
+	}
+	k := float64(cfg.Shape.K)
+	// Each input rounds with relative error 2^-11; products of two
+	// quantized inputs then carry ~2^-10. Accumulation adds at most
+	// k rounding steps of the running sum's magnitude.
+	eps := math.Ldexp(1, -11)
+	if cfg.CType == F16 || cfg.DType == F16 {
+		eps = math.Ldexp(1, -9)
+	}
+	bound := k * maxAbs * maxAbs * eps * 8
+	if bound < 1e-6 {
+		bound = 1e-6
+	}
+	return bound
+}

@@ -1,0 +1,197 @@
+package wmma
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fp16"
+	"repro/internal/tensor"
+)
+
+func fillExact(m *tensor.Matrix, rng *rand.Rand) {
+	// Multiples of 1/4 in [-2, 2): products are multiples of 1/16 ≤ 4 and
+	// 16-term sums stay ≤ 64, exactly representable even in binary16, so
+	// MMA must match the float64 reference bit for bit.
+	m.FillFunc(func(int, int) float64 { return float64(rng.Intn(16)-8) / 4 })
+}
+
+func TestVoltaConfigCount(t *testing.T) {
+	cfgs := VoltaConfigs()
+	if len(cfgs) != 32 {
+		t.Fatalf("VoltaConfigs returned %d configs, want 32 (the paper validates all 32)", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %v invalid: %v", c, err)
+		}
+		key := c.String()
+		if c.Satf {
+			key += ".satf"
+		}
+		if seen[key] {
+			t.Errorf("duplicate config %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestTuringConfigsValid(t *testing.T) {
+	for _, c := range TuringConfigs() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %v invalid: %v", c, err)
+		}
+	}
+}
+
+// All 32 Volta configurations must produce exact results on exactly
+// representable inputs — the analog of the paper's functional validation.
+func TestMMAAllVoltaConfigsExactInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, cfg := range VoltaConfigs() {
+		a := tensor.New(16, 16, cfg.ALayout)
+		b := tensor.New(16, 16, cfg.BLayout)
+		c := tensor.New(16, 16, tensor.RowMajor)
+		fillExact(a, rng)
+		fillExact(b, rng)
+		fillExact(c, rng)
+		got := MustMMA(cfg, a, b, c, tensor.RowMajor)
+		want := tensor.Gemm(a, b, c, tensor.RowMajor)
+		if d := tensor.MaxAbsDiff(got, want); d != 0 {
+			t.Errorf("%v: max abs diff %g on exact inputs, want 0", cfg, d)
+		}
+	}
+}
+
+func TestMMARandomInputsWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, cfg := range VoltaConfigs()[:8] {
+		a := tensor.New(16, 16, cfg.ALayout)
+		b := tensor.New(16, 16, cfg.BLayout)
+		c := tensor.New(16, 16, tensor.RowMajor)
+		a.FillRandomFP16(rng)
+		b.FillRandomFP16(rng)
+		c.FillRandomFP16(rng)
+		got := MustMMA(cfg, a, b, c, tensor.RowMajor)
+		want := tensor.Gemm(a, b, c, tensor.RowMajor)
+		tol := Tolerance(cfg, 4)
+		if d := tensor.MaxAbsDiff(got, want); d > tol {
+			t.Errorf("%v: max abs diff %g exceeds tolerance %g", cfg, d, tol)
+		}
+	}
+}
+
+// Integer modes are exact.
+func TestMMAIntegerExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, cfg := range TuringConfigs() {
+		if !cfg.AType.IsInt() {
+			continue
+		}
+		a := tensor.New(cfg.Shape.M, cfg.Shape.K, cfg.ALayout)
+		b := tensor.New(cfg.Shape.K, cfg.Shape.N, cfg.BLayout)
+		c := tensor.New(cfg.Shape.M, cfg.Shape.N, tensor.RowMajor)
+		lo, hi := -8, 7
+		if cfg.AType == U8 || cfg.AType == U4 {
+			lo = 0
+		}
+		a.FillRandomInt(rng, lo, hi)
+		b.FillRandomInt(rng, lo, hi)
+		c.FillRandomInt(rng, -100, 100)
+		got := MustMMA(cfg, a, b, c, tensor.RowMajor)
+		want := tensor.Gemm(a, b, c, tensor.RowMajor)
+		if d := tensor.MaxAbsDiff(got, want); d != 0 {
+			t.Errorf("%v: integer mma differs from reference by %g", cfg, d)
+		}
+	}
+}
+
+// Integer saturation: accumulating past int32 max clamps with satf and
+// wraps without.
+func TestMMAIntSaturation(t *testing.T) {
+	cfg := Config{Arch: Turing, Shape: M16N16K16, ALayout: tensor.RowMajor,
+		BLayout: tensor.ColMajor, AType: S8, CType: S32, DType: S32, Satf: true}
+	a := tensor.New(16, 16, tensor.RowMajor)
+	b := tensor.New(16, 16, tensor.ColMajor)
+	c := tensor.New(16, 16, tensor.RowMajor)
+	a.FillConst(127)
+	b.FillConst(127)
+	c.FillConst(float64(1<<31 - 1)) // start at int32 max
+	got := MustMMA(cfg, a, b, c, tensor.RowMajor)
+	if got.At(0, 0) != float64(1<<31-1) {
+		t.Errorf("satf result %v, want int32 max", got.At(0, 0))
+	}
+	cfg.Satf = false
+	got = MustMMA(cfg, a, b, c, tensor.RowMajor)
+	if got.At(0, 0) == float64(1<<31-1) {
+		t.Error("without satf the accumulator should wrap")
+	}
+}
+
+// Float satf clamps to the maximum finite value.
+func TestMMAFloatSaturation(t *testing.T) {
+	cfg := Config{Arch: Volta, Shape: M16N16K16, ALayout: tensor.RowMajor,
+		BLayout: tensor.ColMajor, AType: F16, CType: F32, DType: F32, Satf: true}
+	a := tensor.New(16, 16, tensor.RowMajor)
+	b := tensor.New(16, 16, tensor.ColMajor)
+	c := tensor.New(16, 16, tensor.RowMajor)
+	a.FillConst(200)
+	b.FillConst(200)
+	c.FillConst(0)
+	got := MustMMA(cfg, a, b, c, tensor.RowMajor)
+	if got.At(3, 3) != 65504 {
+		t.Errorf("satf float result %v, want 65504", got.At(3, 3))
+	}
+}
+
+// FP16 accumulation loses precision that FP32 accumulation keeps — the
+// motivation for mixed-precision mode. With all-ones inputs and a C that
+// pushes the accumulator past 2048, fp16 accumulation stalls.
+func TestMixedPrecisionBeatsFP16Accumulation(t *testing.T) {
+	mk := func(ct, dt Precision) *tensor.Matrix {
+		cfg := Config{Arch: Volta, Shape: M16N16K16, ALayout: tensor.RowMajor,
+			BLayout: tensor.ColMajor, AType: F16, CType: ct, DType: dt}
+		a := tensor.New(16, 16, tensor.RowMajor)
+		b := tensor.New(16, 16, tensor.ColMajor)
+		c := tensor.New(16, 16, tensor.RowMajor)
+		a.FillConst(1)
+		b.FillConst(1)
+		c.FillConst(2047.5)
+		return MustMMA(cfg, a, b, c, tensor.RowMajor)
+	}
+	f32 := mk(F32, F32)
+	f16 := mk(F16, F16)
+	if f32.At(0, 0) != 2063.5 {
+		t.Errorf("fp32 accumulation = %v, want 2063.5", f32.At(0, 0))
+	}
+	// binary16 cannot even represent the 0.5 fraction at this magnitude
+	// (ULP is 2 above 2048), so the fp16 result must be off the exact value.
+	if f16.At(0, 0) == 2063.5 {
+		t.Error("fp16 accumulation unexpectedly exact; precision-loss check is vacuous")
+	}
+}
+
+// DotF32 over a K-length vector must equal chunked FEDP accumulation by
+// construction; cross-check against a plain fp32 loop on exact inputs.
+func TestDotSemantics(t *testing.T) {
+	a := make([]fp16.Float16, 16)
+	b := make([]fp16.Float16, 16)
+	for i := range a {
+		a[i] = fp16.FromFloat64(float64(i%5) - 2)
+		b[i] = fp16.FromFloat64(float64(i%3) - 1)
+	}
+	var plain float32
+	for i := range a {
+		plain += fp16.MulTo32(a[i], b[i])
+	}
+	if got := DotF32(0, a, b); got != plain {
+		t.Errorf("DotF32 = %v, plain loop = %v (exact inputs should agree)", got, plain)
+	}
+}
+
+func TestMMAValidates(t *testing.T) {
+	bad := Config{Arch: Volta, Shape: M32N8K16, AType: F16, CType: F32, DType: F32}
+	if _, err := MMA(bad, nil, nil, nil, tensor.RowMajor); err == nil {
+		t.Error("MMA should reject invalid configs")
+	}
+}

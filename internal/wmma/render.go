@@ -1,0 +1,63 @@
+package wmma
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderOwnership draws the operand tile as a character grid showing
+// which threadgroup(s) hold each element — a textual rendition of the
+// shaded maps in Figures 7 and 8. Volta A/B elements belong to two
+// threadgroups and render as a pair like "04"; single-owner elements
+// render as one digit padded with '.'.
+func (m *Mapping) RenderOwnership() string {
+	rows, cols := m.Shape.Dims(m.Op)
+	owners := make([][][]int, rows)
+	for r := range owners {
+		owners[r] = make([][]int, cols)
+	}
+	for lane := range m.Lanes {
+		tg := ThreadgroupOf(lane)
+		for _, c := range m.Lanes[lane] {
+			cell := owners[c.Row][c.Col]
+			dup := false
+			for _, t := range cell {
+				if t == tg {
+					dup = true
+				}
+			}
+			if !dup {
+				owners[c.Row][c.Col] = append(cell, tg)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v %v %v %v (%d x %d), threadgroup owners per element:\n",
+		m.Arch, m.Shape, m.Op, m.Layout, rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cell := owners[r][c]
+			switch len(cell) {
+			case 0:
+				b.WriteString(" ..")
+			case 1:
+				fmt.Fprintf(&b, " %d.", cell[0])
+			default:
+				fmt.Fprintf(&b, " %d%d", cell[0], cell[1])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderLane lists one lane's fragment slots and coordinates, the output
+// the Figure 4 microbenchmark decodes.
+func (m *Mapping) RenderLane(lane int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lane %d (threadgroup %d):", lane, ThreadgroupOf(lane))
+	for slot, c := range m.Lanes[lane] {
+		fmt.Fprintf(&b, " x[%d]=(%d,%d)", slot, c.Row, c.Col)
+	}
+	return b.String()
+}

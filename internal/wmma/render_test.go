@@ -1,0 +1,54 @@
+package wmma
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestRenderOwnershipVoltaC(t *testing.T) {
+	m := MustMap(Volta, M16N16K16, MatrixC, tensor.RowMajor, F32)
+	s := m.RenderOwnership()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 17 { // header + 16 rows
+		t.Fatalf("%d lines, want 17", len(lines))
+	}
+	// Row 0 starts with threadgroup 0 on the left half and 2 on the right
+	// (Figure 7b).
+	if !strings.HasPrefix(lines[1], " 0.") {
+		t.Errorf("row 0 starts %q", lines[1][:9])
+	}
+	if !strings.Contains(lines[1], " 2.") {
+		t.Errorf("row 0 missing threadgroup 2: %q", lines[1])
+	}
+	// Bottom-right corner belongs to threadgroup 7.
+	if !strings.HasSuffix(lines[16], "7.") {
+		t.Errorf("row 15 ends %q", lines[16])
+	}
+}
+
+func TestRenderOwnershipVoltaADoubleOwners(t *testing.T) {
+	m := MustMap(Volta, M16N16K16, MatrixA, tensor.RowMajor, F16)
+	s := m.RenderOwnership()
+	// Every A element has two owners: the first data row shows pairs
+	// "02" (threadgroups 0 and 2).
+	if !strings.Contains(s, " 02") {
+		t.Errorf("A rendering missing the 0+2 double ownership:\n%s", s)
+	}
+	if strings.Contains(s, " ..") {
+		t.Error("A rendering has unowned cells")
+	}
+}
+
+func TestRenderLane(t *testing.T) {
+	m := MustMap(Volta, M16N16K16, MatrixA, tensor.RowMajor, F16)
+	s := m.RenderLane(5)
+	if !strings.HasPrefix(s, "lane 5 (threadgroup 1):") {
+		t.Errorf("lane header: %q", s[:24])
+	}
+	// Lane 5 = threadgroup 1, lane-in-group 1 → row 9 of A, 16 slots.
+	if !strings.Contains(s, "x[0]=(9,0)") || !strings.Contains(s, "x[15]=(9,15)") {
+		t.Errorf("lane 5 fragment wrong: %s", s)
+	}
+}

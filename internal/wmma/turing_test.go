@@ -1,0 +1,145 @@
+package wmma
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+var turingF16Shapes = []Shape{M16N16K16, M32N8K16, M8N32K16}
+
+// Figure 8: on Turing every operand element is loaded exactly once.
+func TestTuringLoadMultiplicity(t *testing.T) {
+	for _, sh := range turingF16Shapes {
+		for _, op := range []Operand{MatrixA, MatrixB, MatrixC} {
+			elem := F16
+			if op == MatrixC {
+				elem = F32
+			}
+			m := MustMap(Turing, sh, op, tensor.RowMajor, elem)
+			for coord, n := range m.LoadCounts() {
+				if n != 1 {
+					t.Fatalf("%v %v: element %v loaded %d times, want 1", sh, op, coord, n)
+				}
+			}
+			rows, cols := sh.Dims(op)
+			if got, want := m.FragmentLen(), rows*cols/WarpSize; got != want {
+				t.Errorf("%v %v: fragment length %d, want %d", sh, op, got, want)
+			}
+		}
+	}
+}
+
+// Figure 8: each row (A, C) or column (B) is loaded by one threadgroup and
+// consecutive threadgroups load consecutive rows/columns.
+func TestTuringSliceAssignment(t *testing.T) {
+	for _, sh := range turingF16Shapes {
+		for _, op := range []Operand{MatrixA, MatrixB, MatrixC} {
+			m := MustMap(Turing, sh, op, tensor.RowMajor, F16)
+			for lane := 0; lane < WarpSize; lane++ {
+				tg := ThreadgroupOf(lane)
+				for _, c := range m.Lanes[lane] {
+					slice := c.Row
+					if op == MatrixB {
+						slice = c.Col
+					}
+					if slice%NumThreadgroups != tg {
+						t.Fatalf("%v %v: lane %d (tg %d) holds slice %d", sh, op, lane, tg, slice)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Within a threadgroup each lane holds an equal contiguous quarter of each
+// slice, so a 16-long slice yields 4 consecutive 16-bit elements per lane:
+// one 64-bit load per slice in the contiguous layout.
+func TestTuringLoadWidths(t *testing.T) {
+	m := MustMap(Turing, M16N16K16, MatrixA, tensor.RowMajor, F16)
+	runs := m.LaneRuns(0, 16)
+	if len(runs) != 2 || runs[0] != 4 || runs[1] != 4 {
+		t.Errorf("A row-major lane runs %v, want [4 4]", runs)
+	}
+	widths := m.LoadWidthsBits(16)
+	if len(widths) != 1 || widths[0] != 64 {
+		t.Errorf("A row-major widths %v, want [64]", widths)
+	}
+	// 8-bit mode: 4 consecutive bytes per slice quarter = 32-bit loads.
+	m8 := MustMap(Turing, M16N16K16, MatrixA, tensor.RowMajor, S8)
+	if widths := m8.LoadWidthsBits(16); len(widths) != 1 || widths[0] != 32 {
+		t.Errorf("A s8 widths %v, want [32]", widths)
+	}
+}
+
+// The two rectangular 16-bit shapes use the same distribution rule
+// (the paper: "Both tile size 32×8×16 and 8×32×16 employ the same
+// distribution").
+func TestTuringRectangularShapesShareRule(t *testing.T) {
+	a32 := MustMap(Turing, M32N8K16, MatrixA, tensor.RowMajor, F16)
+	// A is 32×16: threadgroup g holds rows g, g+8, g+16, g+24.
+	for lane := 0; lane < WarpSize; lane++ {
+		tg := ThreadgroupOf(lane)
+		rows := map[int]bool{}
+		for _, c := range a32.Lanes[lane] {
+			rows[c.Row] = true
+		}
+		for r := range rows {
+			if r%8 != tg {
+				t.Fatalf("32x8x16 A: lane %d holds row %d, not ≡ tg %d (mod 8)", lane, r, tg)
+			}
+		}
+		if len(rows) != 4 {
+			t.Fatalf("32x8x16 A: lane %d covers %d rows, want 4", lane, len(rows))
+		}
+	}
+	b32 := MustMap(Turing, M32N8K16, MatrixB, tensor.ColMajor, F16)
+	// B is 16×8: column g belongs to threadgroup g.
+	for lane := 0; lane < WarpSize; lane++ {
+		tg := ThreadgroupOf(lane)
+		for _, c := range b32.Lanes[lane] {
+			if c.Col != tg {
+				t.Fatalf("32x8x16 B: lane %d holds col %d, want %d", lane, c.Col, tg)
+			}
+		}
+	}
+}
+
+// 4-bit mode tile 8×8×32.
+func TestTuring4BitShape(t *testing.T) {
+	a := MustMap(Turing, M8N8K32, MatrixA, tensor.RowMajor, S4)
+	if got, want := a.FragmentLen(), 8*32/WarpSize; got != want {
+		t.Errorf("4-bit A fragment length %d, want %d", got, want)
+	}
+	for coord, n := range a.LoadCounts() {
+		if n != 1 {
+			t.Fatalf("4-bit A element %v loaded %d times", coord, n)
+		}
+	}
+	c := MustMap(Turing, M8N8K32, MatrixC, tensor.RowMajor, S32)
+	if got, want := c.FragmentLen(), 2; got != want {
+		t.Errorf("4-bit C fragment length %d, want %d", got, want)
+	}
+}
+
+func TestTuringGatherScatterRoundTrip(t *testing.T) {
+	for _, sh := range []Shape{M16N16K16, M32N8K16, M8N32K16, M8N8K32} {
+		for _, op := range []Operand{MatrixA, MatrixB, MatrixC} {
+			m := MustMap(Turing, sh, op, tensor.ColMajor, F16)
+			rows, cols := sh.Dims(op)
+			tile := tensor.New(rows, cols, tensor.ColMajor)
+			tile.FillSequential()
+			back := tensor.New(rows, cols, tensor.ColMajor)
+			m.Scatter(m.Gather(tile), back)
+			if !tensor.Equal(tile, back, 0) {
+				t.Errorf("%v %v: gather/scatter did not round-trip", sh, op)
+			}
+		}
+	}
+}
+
+func TestTuringRejectsBadShape(t *testing.T) {
+	if _, err := Map(Turing, Shape{8, 8, 8}, MatrixA, tensor.RowMajor, F16); err == nil {
+		t.Error("Turing should reject 8x8x8")
+	}
+}

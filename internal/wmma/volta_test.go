@@ -1,0 +1,256 @@
+package wmma
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+var bothLayouts = []tensor.Layout{tensor.RowMajor, tensor.ColMajor}
+
+// Figure 7a: every element of A and B is loaded by exactly two threads in
+// the warp; Figure 7b: every element of C by exactly one.
+func TestVoltaLoadMultiplicity(t *testing.T) {
+	for _, layout := range bothLayouts {
+		for _, op := range []Operand{MatrixA, MatrixB} {
+			m := MustMap(Volta, M16N16K16, op, layout, F16)
+			for coord, n := range m.LoadCounts() {
+				if n != 2 {
+					t.Fatalf("%v %v: element %v loaded %d times, want 2", op, layout, coord, n)
+				}
+			}
+			if got := m.FragmentLen(); got != 16 {
+				t.Errorf("%v %v: fragment length %d, want 16", op, layout, got)
+			}
+		}
+	}
+	for _, elem := range []Precision{F16, F32} {
+		m := MustMap(Volta, M16N16K16, MatrixC, tensor.RowMajor, elem)
+		for coord, n := range m.LoadCounts() {
+			if n != 1 {
+				t.Fatalf("C %v: element %v loaded %d times, want 1", elem, coord, n)
+			}
+		}
+		if got := m.FragmentLen(); got != 8 {
+			t.Errorf("C %v: fragment length %d, want 8", elem, got)
+		}
+	}
+}
+
+// The two threads holding an A/B element must belong to different
+// threadgroups ("each element ... loaded by two different threadgroups").
+func TestVoltaDuplicatesAcrossThreadgroups(t *testing.T) {
+	for _, op := range []Operand{MatrixA, MatrixB} {
+		m := MustMap(Volta, M16N16K16, op, tensor.RowMajor, F16)
+		for row := 0; row < 16; row++ {
+			for col := 0; col < 16; col++ {
+				lanes := m.LanesHolding(row, col)
+				if len(lanes) != 2 {
+					t.Fatalf("%v element (%d,%d) held by %v", op, row, col, lanes)
+				}
+				if ThreadgroupOf(lanes[0]) == ThreadgroupOf(lanes[1]) {
+					t.Fatalf("%v element (%d,%d) held twice by threadgroup %d",
+						op, row, col, ThreadgroupOf(lanes[0]))
+				}
+			}
+		}
+	}
+}
+
+// Figure 7a ①: the first four rows of A are loaded by threadgroups 0 and
+// 2; full segment assignment per the figure.
+func TestVoltaASegments(t *testing.T) {
+	m := MustMap(Volta, M16N16K16, MatrixA, tensor.RowMajor, F16)
+	want := map[int][2]int{ // rowBase → the two threadgroups
+		0: {0, 2}, 4: {4, 6}, 8: {1, 3}, 12: {5, 7},
+	}
+	for base, tgs := range want {
+		for _, tg := range tgs {
+			rl, rh, cl, ch := m.ThreadgroupRegion(tg)
+			if rl != base || rh != base+3 || cl != 0 || ch != 15 {
+				t.Errorf("threadgroup %d region rows %d-%d cols %d-%d, want rows %d-%d cols 0-15",
+					tg, rl, rh, cl, ch, base, base+3)
+			}
+		}
+	}
+}
+
+// B column segments, derived from Table II octet composition.
+func TestVoltaBSegments(t *testing.T) {
+	m := MustMap(Volta, M16N16K16, MatrixB, tensor.ColMajor, F16)
+	want := map[int][2]int{ // colBase → the two threadgroups
+		0: {0, 1}, 4: {4, 5}, 8: {2, 3}, 12: {6, 7},
+	}
+	for base, tgs := range want {
+		for _, tg := range tgs {
+			rl, rh, cl, ch := m.ThreadgroupRegion(tg)
+			if rl != 0 || rh != 15 || cl != base || ch != base+3 {
+				t.Errorf("threadgroup %d region rows %d-%d cols %d-%d, want rows 0-15 cols %d-%d",
+					tg, rl, rh, cl, ch, base, base+3)
+			}
+		}
+	}
+}
+
+// Figure 7b: each threadgroup holds a 4×8 segment of C at the documented
+// position, for both accumulator precisions.
+func TestVoltaCSegments(t *testing.T) {
+	want := map[int]Coord{
+		0: {0, 0}, 2: {0, 8}, 4: {4, 0}, 6: {4, 8},
+		1: {8, 0}, 3: {8, 8}, 5: {12, 0}, 7: {12, 8},
+	}
+	for _, elem := range []Precision{F16, F32} {
+		m := MustMap(Volta, M16N16K16, MatrixC, tensor.RowMajor, elem)
+		for tg, base := range want {
+			rl, rh, cl, ch := m.ThreadgroupRegion(tg)
+			if rl != base.Row || rh != base.Row+3 || cl != base.Col || ch != base.Col+7 {
+				t.Errorf("%v threadgroup %d region rows %d-%d cols %d-%d, want %d-%d/%d-%d",
+					elem, tg, rl, rh, cl, ch, base.Row, base.Row+3, base.Col, base.Col+7)
+			}
+		}
+	}
+}
+
+// The paper: "The distribution of matrix elements to threads for operand
+// matrix A stored in row-major layout is the same as the distribution of
+// operand matrix B stored in column-major layout and vice-versa."
+func TestVoltaABLayoutDuality(t *testing.T) {
+	aRow := MustMap(Volta, M16N16K16, MatrixA, tensor.RowMajor, F16)
+	bCol := MustMap(Volta, M16N16K16, MatrixB, tensor.ColMajor, F16)
+	aCol := MustMap(Volta, M16N16K16, MatrixA, tensor.ColMajor, F16)
+	bRow := MustMap(Volta, M16N16K16, MatrixB, tensor.RowMajor, F16)
+	// A's (slice, k) ↔ B's (k, slice): transposing A's coords must give a
+	// warp distribution with the same per-lane *shape* as B's, modulo the
+	// segment bases differing between A and B. Verify the per-lane run
+	// structure (how elements sit in memory) matches, which is the
+	// observable the paper's load-width analysis rests on.
+	for lane := 0; lane < WarpSize; lane++ {
+		if got, want := len(aRow.Lanes[lane]), len(bCol.Lanes[lane]); got != want {
+			t.Fatalf("lane %d: |A row frag| %d != |B col frag| %d", lane, got, want)
+		}
+	}
+	if ar, bc := aRow.LaneRuns(0, 16), bCol.LaneRuns(0, 16); len(ar) != len(bc) || ar[0] != bc[0] {
+		t.Errorf("A-row runs %v != B-col runs %v", ar, bc)
+	}
+	if ac, br := aCol.LaneRuns(0, 16), bRow.LaneRuns(0, 16); len(ac) != len(br) || ac[0] != br[0] {
+		t.Errorf("A-col runs %v != B-row runs %v", ac, br)
+	}
+}
+
+// Section III-C: A/B in the contiguous layout load with two 128-bit
+// instructions; in the strided layout with four 64-bit instructions; C
+// loads are 32-bit.
+func TestVoltaLoadWidths(t *testing.T) {
+	cases := []struct {
+		op     Operand
+		layout tensor.Layout
+		elem   Precision
+		widths []int
+		count  int
+	}{
+		{MatrixA, tensor.RowMajor, F16, []int{128}, 2},
+		{MatrixA, tensor.ColMajor, F16, []int{64}, 4},
+		{MatrixB, tensor.ColMajor, F16, []int{128}, 2},
+		{MatrixB, tensor.RowMajor, F16, []int{64}, 4},
+		{MatrixC, tensor.RowMajor, F32, []int{32}, 8},
+	}
+	for _, c := range cases {
+		m := MustMap(Volta, M16N16K16, c.op, c.layout, c.elem)
+		got := m.LoadWidthsBits(16)
+		if len(got) != len(c.widths) || got[0] != c.widths[0] {
+			t.Errorf("%v %v: widths %v, want %v", c.op, c.layout, got, c.widths)
+		}
+		if n := m.LoadInstructionCount(16); n != c.count {
+			t.Errorf("%v %v: %d load instructions, want %d", c.op, c.layout, n, c.count)
+		}
+	}
+}
+
+// Table II: octet composition and accessed element ranges.
+func TestOctetsMatchTableII(t *testing.T) {
+	want := []Octet{
+		{ID: 0, Threadgroups: [2]int{0, 4}, ARows: [2]int{0, 7}, ACols: [2]int{0, 15}, BRows: [2]int{0, 15}, BCols: [2]int{0, 7}, CRows: [2]int{0, 7}, CCols: [2]int{0, 7}},
+		{ID: 1, Threadgroups: [2]int{1, 5}, ARows: [2]int{8, 15}, ACols: [2]int{0, 15}, BRows: [2]int{0, 15}, BCols: [2]int{0, 7}, CRows: [2]int{8, 15}, CCols: [2]int{0, 7}},
+		{ID: 2, Threadgroups: [2]int{2, 6}, ARows: [2]int{0, 7}, ACols: [2]int{0, 15}, BRows: [2]int{0, 15}, BCols: [2]int{8, 15}, CRows: [2]int{0, 7}, CCols: [2]int{8, 15}},
+		{ID: 3, Threadgroups: [2]int{3, 7}, ARows: [2]int{8, 15}, ACols: [2]int{0, 15}, BRows: [2]int{0, 15}, BCols: [2]int{8, 15}, CRows: [2]int{8, 15}, CCols: [2]int{8, 15}},
+	}
+	got := Octets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("octet %d:\n got  %+v\n want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// The mapping must agree with the octet ranges: the union of the two
+// threadgroups of octet X covers exactly the Table II ranges.
+func TestVoltaMappingConsistentWithOctets(t *testing.T) {
+	aMap := MustMap(Volta, M16N16K16, MatrixA, tensor.RowMajor, F16)
+	bMap := MustMap(Volta, M16N16K16, MatrixB, tensor.RowMajor, F16)
+	for _, o := range Octets() {
+		gotRowLo, gotRowHi := 16, -1
+		for _, tg := range o.Threadgroups {
+			rl, rh, _, _ := aMap.ThreadgroupRegion(tg)
+			if rl < gotRowLo {
+				gotRowLo = rl
+			}
+			if rh > gotRowHi {
+				gotRowHi = rh
+			}
+		}
+		if gotRowLo != o.ARows[0] || gotRowHi != o.ARows[1] {
+			t.Errorf("octet %d A rows %d-%d, want %d-%d", o.ID, gotRowLo, gotRowHi, o.ARows[0], o.ARows[1])
+		}
+		gotColLo, gotColHi := 16, -1
+		for _, tg := range o.Threadgroups {
+			_, _, cl, ch := bMap.ThreadgroupRegion(tg)
+			if cl < gotColLo {
+				gotColLo = cl
+			}
+			if ch > gotColHi {
+				gotColHi = ch
+			}
+		}
+		if gotColLo != o.BCols[0] || gotColHi != o.BCols[1] {
+			t.Errorf("octet %d B cols %d-%d, want %d-%d", o.ID, gotColLo, gotColHi, o.BCols[0], o.BCols[1])
+		}
+	}
+}
+
+// Gather/Scatter must round-trip a tile through fragments.
+func TestGatherScatterRoundTrip(t *testing.T) {
+	for _, op := range []Operand{MatrixA, MatrixB, MatrixC} {
+		elem := F16
+		if op == MatrixC {
+			elem = F32
+		}
+		m := MustMap(Volta, M16N16K16, op, tensor.RowMajor, elem)
+		rows, cols := M16N16K16.Dims(op)
+		tile := tensor.New(rows, cols, tensor.RowMajor)
+		tile.FillSequential()
+		frags := m.Gather(tile)
+		back := tensor.New(rows, cols, tensor.RowMajor)
+		m.Scatter(frags, back)
+		if !tensor.Equal(tile, back, 0) {
+			t.Errorf("%v: gather/scatter did not round-trip", op)
+		}
+	}
+}
+
+func TestOctetOf(t *testing.T) {
+	for tg := 0; tg < NumThreadgroups; tg++ {
+		want := tg % 4
+		if got := OctetOf(tg); got != want {
+			t.Errorf("OctetOf(%d) = %d, want %d", tg, got, want)
+		}
+	}
+}
+
+func TestVoltaRejectsBadShapes(t *testing.T) {
+	if _, err := Map(Volta, M32N8K16, MatrixA, tensor.RowMajor, F16); err == nil {
+		t.Error("Volta should reject 32x8x16")
+	}
+	if _, err := Map(Volta, M16N16K16, MatrixA, tensor.RowMajor, S8); err == nil {
+		t.Error("Volta should reject int8 A")
+	}
+}

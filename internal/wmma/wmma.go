@@ -1,0 +1,282 @@
+// Package wmma models NVIDIA's warp-level matrix multiply-accumulate
+// (WMMA) interface as reverse engineered for Volta and Turing by Raihan,
+// Goli and Aamodt (ISPASS 2019).
+//
+// The package covers the functional half of the paper's tensor-core model:
+//
+//   - the tile shapes and precision modes each architecture supports
+//     (Section II-B/C of the paper),
+//   - the fragment-to-thread mappings of Figures 7 (Volta) and 8 (Turing),
+//     i.e. exactly which elements of the A, B and C operand tiles each of
+//     the 32 lanes of a warp holds in its registers,
+//   - the arithmetic of mma_sync / wmma.mma for every supported
+//     configuration, with the accumulation order implied by the
+//     set/step/four-element-dot-product decomposition of Section III.
+//
+// The cycle-level half (HMMA sequencing, octet scheduling, pipeline timing)
+// lives in internal/tcore; the two packages are kept separate so the
+// functional model can be validated independently of any timing assumption,
+// mirroring how the paper splits its GPGPU-Sim changes into functional and
+// timing models.
+package wmma
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Arch identifies the GPU architecture whose tensor-core behaviour is being
+// modeled.
+type Arch int
+
+const (
+	// Volta models the Titan V (compute capability 7.0).
+	Volta Arch = iota
+	// Turing models the RTX 2080 (compute capability 7.5).
+	Turing
+)
+
+func (a Arch) String() string {
+	switch a {
+	case Volta:
+		return "volta"
+	case Turing:
+		return "turing"
+	}
+	return fmt.Sprintf("arch(%d)", int(a))
+}
+
+// Operand names one of the three source tiles of D = A×B + C. D shares the
+// C mapping (the accumulator registers are read-modify-written in place).
+type Operand int
+
+const (
+	MatrixA Operand = iota
+	MatrixB
+	MatrixC
+)
+
+func (o Operand) String() string {
+	switch o {
+	case MatrixA:
+		return "a"
+	case MatrixB:
+		return "b"
+	case MatrixC:
+		return "c"
+	}
+	return fmt.Sprintf("operand(%d)", int(o))
+}
+
+// Precision is the element type of an operand tile.
+type Precision int
+
+const (
+	F16 Precision = iota // IEEE binary16
+	F32                  // IEEE binary32 (C/D accumulators only)
+	S8                   // signed 8-bit integer (Turing)
+	U8                   // unsigned 8-bit integer (Turing)
+	S4                   // signed 4-bit integer (Turing, experimental)
+	U4                   // unsigned 4-bit integer (Turing, experimental)
+	S32                  // signed 32-bit accumulator for integer modes
+)
+
+func (p Precision) String() string {
+	switch p {
+	case F16:
+		return "f16"
+	case F32:
+		return "f32"
+	case S8:
+		return "s8"
+	case U8:
+		return "u8"
+	case S4:
+		return "s4"
+	case U4:
+		return "u4"
+	case S32:
+		return "s32"
+	}
+	return fmt.Sprintf("precision(%d)", int(p))
+}
+
+// Bits returns the storage width of one element.
+func (p Precision) Bits() int {
+	switch p {
+	case F16:
+		return 16
+	case F32, S32:
+		return 32
+	case S8, U8:
+		return 8
+	case S4, U4:
+		return 4
+	}
+	return 0
+}
+
+// IsInt reports whether p is one of the Turing integer operand types.
+func (p Precision) IsInt() bool {
+	switch p {
+	case S8, U8, S4, U4, S32:
+		return true
+	}
+	return false
+}
+
+// Shape is the M×N×K tile size of a warp-wide mma: A is M×K, B is K×N,
+// C and D are M×N.
+type Shape struct{ M, N, K int }
+
+// The tile shapes named in the paper. CUDA 9.0 exposed only M16N16K16;
+// Turing added the rectangular 8/16-bit shapes and the 4-bit shape.
+var (
+	M16N16K16 = Shape{16, 16, 16}
+	M32N8K16  = Shape{32, 8, 16}
+	M8N32K16  = Shape{8, 32, 16}
+	M8N8K32   = Shape{8, 8, 32}
+)
+
+func (s Shape) String() string { return fmt.Sprintf("m%dn%dk%d", s.M, s.N, s.K) }
+
+// Dims returns the rows×cols of the given operand tile under s.
+func (s Shape) Dims(op Operand) (rows, cols int) {
+	switch op {
+	case MatrixA:
+		return s.M, s.K
+	case MatrixB:
+		return s.K, s.N
+	default:
+		return s.M, s.N
+	}
+}
+
+// Config is one complete wmma.mma configuration: tile shape, operand
+// layouts, and precisions. Satf requests saturating arithmetic.
+//
+// On Volta, A and B must be F16 and CType/DType are independently F16 or
+// F32; together with the two layout qualifiers and satf this yields the
+// 32 configurations the paper's functional model supports. Turing adds the
+// integer modes, whose C and D are always S32.
+type Config struct {
+	Arch    Arch
+	Shape   Shape
+	ALayout tensor.Layout
+	BLayout tensor.Layout
+	AType   Precision // element type of A and B
+	CType   Precision
+	DType   Precision
+	Satf    bool
+}
+
+func (c Config) String() string {
+	satf := ""
+	if c.Satf {
+		satf = ".satf"
+	}
+	return fmt.Sprintf("wmma.mma.sync.%s.%s.%s.%s.%s%s",
+		c.ALayout, c.BLayout, c.Shape, c.DType, c.CType, satf)
+}
+
+// Validate reports whether the configuration is one the modeled hardware
+// supports, with a descriptive error otherwise.
+func (c Config) Validate() error {
+	switch c.Arch {
+	case Volta:
+		if c.Shape != M16N16K16 {
+			return fmt.Errorf("wmma: volta supports only %v, got %v", M16N16K16, c.Shape)
+		}
+		if c.AType != F16 {
+			return fmt.Errorf("wmma: volta A/B must be f16, got %v", c.AType)
+		}
+		if !isF16F32(c.CType) || !isF16F32(c.DType) {
+			return fmt.Errorf("wmma: volta C/D must be f16 or f32, got %v/%v", c.CType, c.DType)
+		}
+	case Turing:
+		switch c.AType {
+		case F16:
+			if c.Shape != M16N16K16 && c.Shape != M32N8K16 && c.Shape != M8N32K16 {
+				return fmt.Errorf("wmma: turing f16 shape %v unsupported", c.Shape)
+			}
+			if !isF16F32(c.CType) || !isF16F32(c.DType) {
+				return fmt.Errorf("wmma: turing f16 C/D must be f16 or f32")
+			}
+		case S8, U8:
+			if c.Shape != M16N16K16 && c.Shape != M32N8K16 && c.Shape != M8N32K16 {
+				return fmt.Errorf("wmma: turing 8-bit shape %v unsupported", c.Shape)
+			}
+			if c.CType != S32 || c.DType != S32 {
+				return fmt.Errorf("wmma: integer modes accumulate in s32 to avoid overflow")
+			}
+		case S4, U4:
+			if c.Shape != M8N8K32 {
+				return fmt.Errorf("wmma: turing 4-bit supports only %v", M8N8K32)
+			}
+			if c.CType != S32 || c.DType != S32 {
+				return fmt.Errorf("wmma: integer modes accumulate in s32 to avoid overflow")
+			}
+		default:
+			return fmt.Errorf("wmma: unsupported A/B type %v", c.AType)
+		}
+	default:
+		return fmt.Errorf("wmma: unknown arch %v", c.Arch)
+	}
+	return nil
+}
+
+func isF16F32(p Precision) bool { return p == F16 || p == F32 }
+
+// VoltaConfigs enumerates all 32 wmma.mma configurations the Titan V
+// supports (2 A layouts × 2 B layouts × 2 C types × 2 D types × satf),
+// matching the count validated in Section V-A of the paper.
+func VoltaConfigs() []Config {
+	var out []Config
+	for _, al := range []tensor.Layout{tensor.RowMajor, tensor.ColMajor} {
+		for _, bl := range []tensor.Layout{tensor.RowMajor, tensor.ColMajor} {
+			for _, ct := range []Precision{F16, F32} {
+				for _, dt := range []Precision{F16, F32} {
+					for _, satf := range []bool{false, true} {
+						out = append(out, Config{
+							Arch: Volta, Shape: M16N16K16,
+							ALayout: al, BLayout: bl,
+							AType: F16, CType: ct, DType: dt, Satf: satf,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TuringConfigs enumerates the Turing configurations modeled here: the
+// three 16-bit shapes with both accumulator types, the three 8-bit shapes
+// (signed and unsigned), and the 4-bit shape. Layout and satf variants are
+// not expanded; callers that need them set the fields themselves.
+func TuringConfigs() []Config {
+	var out []Config
+	for _, sh := range []Shape{M16N16K16, M32N8K16, M8N32K16} {
+		for _, ct := range []Precision{F16, F32} {
+			out = append(out, Config{
+				Arch: Turing, Shape: sh,
+				ALayout: tensor.RowMajor, BLayout: tensor.ColMajor,
+				AType: F16, CType: ct, DType: ct,
+			})
+		}
+		for _, at := range []Precision{S8, U8} {
+			out = append(out, Config{
+				Arch: Turing, Shape: sh,
+				ALayout: tensor.RowMajor, BLayout: tensor.ColMajor,
+				AType: at, CType: S32, DType: S32,
+			})
+		}
+	}
+	out = append(out, Config{
+		Arch: Turing, Shape: M8N8K32,
+		ALayout: tensor.RowMajor, BLayout: tensor.ColMajor,
+		AType: S4, CType: S32, DType: S32,
+	})
+	return out
+}

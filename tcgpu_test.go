@@ -1,0 +1,94 @@
+package tcgpu
+
+import "testing"
+
+func smallDevice(t *testing.T) *Device {
+	t.Helper()
+	cfg := TitanVConfig()
+	cfg.NumSMs = 4
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestRunGEMMAllKinds(t *testing.T) {
+	cases := []struct {
+		kind    GemmKind
+		m, n, k int
+		tol     float64
+	}{
+		{GemmTensorMixed, 64, 64, 32, 1e-3},
+		{GemmTensorFP16, 64, 64, 32, 1.0},
+		{GemmSimtFP32, 64, 64, 32, 1e-3},
+		{GemmSimtFP16, 64, 128, 32, 1.0},
+	}
+	for _, c := range cases {
+		res, err := RunGEMM(smallDevice(t), c.kind, c.m, c.n, c.k)
+		if err != nil {
+			t.Fatalf("kind %d: %v", c.kind, err)
+		}
+		if res.MaxAbsError > c.tol {
+			t.Errorf("kind %d: error %g > %g", c.kind, res.MaxAbsError, c.tol)
+		}
+		if res.TFLOPS <= 0 || res.Stats.Cycles == 0 {
+			t.Errorf("kind %d: empty result %+v", c.kind, res)
+		}
+	}
+}
+
+func TestRunGEMMRejectsBadDims(t *testing.T) {
+	if _, err := RunGEMM(smallDevice(t), GemmTensorMixed, 17, 64, 32); err == nil {
+		t.Error("bad dims should error")
+	}
+	if _, err := RunGEMM(smallDevice(t), GemmKind(99), 64, 64, 32); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestRunCutlassGEMM(t *testing.T) {
+	res, err := RunCutlassGEMM(smallDevice(t), DefaultTilePolicies()[1], 128, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAbsError > 1e-3 {
+		t.Errorf("cutlass error %g", res.MaxAbsError)
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(exps))
+	}
+	tb, err := RunExperiment("tab2", ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Errorf("octet table has %d rows, want 4", len(tb.Rows))
+	}
+	if _, err := RunExperiment("bogus", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestMMAFacade(t *testing.T) {
+	a := newFilled(16, 16, 1)
+	b := newFilled(16, 16, 1)
+	c := newFilled(16, 16, 0)
+	d, err := MMA(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(0, 0) != 16 {
+		t.Errorf("all-ones MMA gives %v, want 16", d.At(0, 0))
+	}
+}
+
+func newFilled(rows, cols int, v float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	m.FillConst(v)
+	return m
+}
