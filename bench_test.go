@@ -118,6 +118,24 @@ func BenchmarkFig17TFLOPS(b *testing.B) {
 	})
 }
 
+// BenchmarkExperimentEngine quantifies the parallel experiment engine:
+// the same fig17 grid sequentially and on the worker pool.
+func BenchmarkExperimentEngine(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "sequential"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunExperiment("fig17", ExperimentOptions{Quick: true, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---- Ablation benchmarks (DESIGN.md) ----
 
 // ablationRun measures cycles of the MMALoop workload under a modified

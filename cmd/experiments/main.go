@@ -6,6 +6,7 @@
 //	experiments -run fig9
 //	experiments -run all -quick
 //	experiments -run fig17 -sms 16
+//	experiments -run all -workers 8
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 	run := flag.String("run", "", "experiment id to run, or 'all'")
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	sms := flag.Int("sms", 0, "override simulated SM count (chip-slice scaling)")
+	workers := flag.Int("workers", 0, "worker pool size for an experiment's data points (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *list || *run == "" {
@@ -35,7 +37,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, SMs: *sms}
+	opt := experiments.Options{Quick: *quick, SMs: *sms, Workers: *workers}
 	var todo []experiments.Experiment
 	if *run == "all" {
 		todo = experiments.All()

@@ -6,12 +6,17 @@
 //	tcsim -kernel wmma -m 256 -n 256 -k 256
 //	tcsim -kernel cutlass -m 512 -n 512 -k 512 -policy b64x64_w32x32
 //	tcsim -kernel sgemm -m 256 -n 256 -k 256 -sms 16 -scheduler lrr
+//	tcsim -kernel wmma -sizes 128,256,512 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/cuda"
 	"repro/internal/cutlass"
@@ -31,6 +36,8 @@ func main() {
 	policy := flag.String("policy", "b64x64_w32x32", "cutlass tile policy")
 	fp16acc := flag.Bool("fp16acc", false, "accumulate in FP16 instead of FP32")
 	verify := flag.Bool("verify", true, "check the result against the float64 reference")
+	sizes := flag.String("sizes", "", "comma-separated square sizes to sweep (m = n = k); each point runs on its own simulator (timing only, -verify is ignored)")
+	workers := flag.Int("workers", 0, "worker pool size for -sizes sweeps (0 = one per CPU)")
 	flag.Parse()
 
 	cfg := gpu.TitanV()
@@ -41,39 +48,22 @@ func main() {
 		cfg.Scheduler = gpu.LRR
 	}
 
+	if *sizes != "" {
+		if err := runSweep(cfg, *kernel, *policy, *fp16acc, *sizes, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	prec := kernels.TensorMixed
 	cd := wmma.F32
 	if *fp16acc {
 		prec, cd = kernels.TensorFP16, wmma.F16
 	}
 
-	var (
-		l   *kernels.Launch
-		err error
-		ab  = wmma.F16
-	)
-	switch *kernel {
-	case "wmma":
-		l, err = kernels.WMMAGemmShared(prec, *m, *n, *k)
-	case "wmma-naive":
-		l, err = kernels.WMMAGemmNaive(prec, *m, *n, *k)
-	case "sgemm":
-		l, err = kernels.SGEMMSimt(*m, *n, *k)
-		ab, cd = wmma.F32, wmma.F32
-	case "hgemm":
-		l, err = kernels.HGEMMSimt(*m, *n, *k)
-		cd = wmma.F16
-	case "cutlass":
-		var pol cutlass.TilePolicy
-		pol, err = findPolicy(*policy)
-		if err == nil {
-			l, err = cutlass.Build(cutlass.GemmConfig{Policy: pol, Precision: prec, M: *m, N: *n, K: *k})
-		}
-	case "maxperf":
-		l, err = kernels.MaxPerf(prec, 2*cfg.NumSMs, 4, 100)
-	default:
-		err = fmt.Errorf("unknown kernel %q", *kernel)
-	}
+	l, ab, abcd, err := buildLaunch(cfg, *kernel, *policy, prec, cd, *m, *n, *k)
+	cd = abcd
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -125,6 +115,122 @@ func main() {
 		got := dev.ReadMatrix(args[3], *m, *n, tensor.RowMajor, cd)
 		fmt.Printf("max |error| : %g vs float64 reference\n", tensor.MaxAbsDiff(got, want))
 	}
+}
+
+// buildLaunch generates the requested kernel, returning the launch and
+// the operand/accumulator precisions.
+func buildLaunch(cfg gpu.Config, kernel, policy string, prec kernels.GemmPrecision, cd wmma.Precision,
+	m, n, k int) (*kernels.Launch, wmma.Precision, wmma.Precision, error) {
+	ab := wmma.F16
+	var (
+		l   *kernels.Launch
+		err error
+	)
+	switch kernel {
+	case "wmma":
+		l, err = kernels.WMMAGemmShared(prec, m, n, k)
+	case "wmma-naive":
+		l, err = kernels.WMMAGemmNaive(prec, m, n, k)
+	case "sgemm":
+		l, err = kernels.SGEMMSimt(m, n, k)
+		ab, cd = wmma.F32, wmma.F32
+	case "hgemm":
+		l, err = kernels.HGEMMSimt(m, n, k)
+		cd = wmma.F16
+	case "cutlass":
+		var pol cutlass.TilePolicy
+		pol, err = findPolicy(policy)
+		if err == nil {
+			l, err = cutlass.Build(cutlass.GemmConfig{Policy: pol, Precision: prec, M: m, N: n, K: k})
+		}
+	case "maxperf":
+		l, err = kernels.MaxPerf(prec, 2*cfg.NumSMs, 4, 100)
+	default:
+		err = fmt.Errorf("unknown kernel %q", kernel)
+	}
+	return l, ab, cd, err
+}
+
+// runSweep runs the kernel across the comma-separated square sizes, one
+// independent device per point, fanned across the worker pool. Results
+// print in size order whatever the completion order.
+func runSweep(cfg gpu.Config, kernel, policy string, fp16acc bool, sizesCSV string, workers int) error {
+	var sizes []int
+	for _, f := range strings.Split(sizesCSV, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad -sizes entry %q", f)
+		}
+		sizes = append(sizes, v)
+	}
+	prec := kernels.TensorMixed
+	cd := wmma.F32
+	if fp16acc {
+		prec, cd = kernels.TensorFP16, wmma.F16
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	workers = min(workers, len(sizes))
+
+	lines := make([]string, len(sizes))
+	errs := make([]error, len(sizes))
+	var next, wg = make(chan int), sync.WaitGroup{}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				n := sizes[i]
+				l, pab, pcd, err := buildLaunch(cfg, kernel, policy, prec, cd, n, n, n)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				dev := cuda.MustNewDevice(cfg)
+				var args []uint64
+				if kernel == "maxperf" {
+					args = []uint64{dev.Mem.Malloc(2048)}
+				} else {
+					args = []uint64{
+						dev.MallocMatrix(n, n, pab),
+						dev.MallocMatrix(n, n, pab),
+						dev.MallocMatrix(n, n, pcd),
+						dev.MallocMatrix(n, n, pcd),
+					}
+				}
+				st, err := dev.Launch(l.Kernel, l.Grid, l.Block, args...)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				tflops := 0.0
+				if l.FLOPs > 0 {
+					tflops = l.FLOPs / st.Seconds(cfg) / 1e12
+				}
+				lines[i] = fmt.Sprintf("%-6d %12d %8.2f %10.2f %8.1f%% %8d",
+					n, st.Cycles, st.IPC(), tflops, 100*st.L1HitRate, st.DRAMAccesses)
+			}
+		}()
+	}
+	go func() {
+		for i := range sizes {
+			next <- i
+		}
+		close(next)
+	}()
+	wg.Wait()
+
+	fmt.Printf("kernel %s on %s (%d SMs, %d workers); sweeps are timing-only, no result verification\n",
+		kernel, cfg.Name, cfg.NumSMs, workers)
+	fmt.Printf("%-6s %12s %8s %10s %9s %8s\n", "size", "cycles", "ipc", "tflops", "l1hit", "dram")
+	for i, line := range lines {
+		if errs[i] != nil {
+			return fmt.Errorf("size %d: %w", sizes[i], errs[i])
+		}
+		fmt.Println(line)
+	}
+	return nil
 }
 
 func findPolicy(name string) (cutlass.TilePolicy, error) {

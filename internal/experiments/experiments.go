@@ -26,6 +26,12 @@ type Options struct {
 	// scaling substitution (0 = experiment default). DRAM and L2
 	// bandwidth scale proportionally so per-SM behaviour is preserved.
 	SMs int
+	// Workers bounds the worker pool that fans an experiment's
+	// independent data points across CPUs: 0 uses one worker per CPU,
+	// 1 forces a sequential run. Parallel runs produce byte-identical
+	// tables to sequential ones — each point simulates on its own
+	// Simulator and results are assembled in point order.
+	Workers int
 }
 
 // Table is one regenerated artifact.
@@ -149,19 +155,12 @@ func scaledTitanV(sms int) gpu.Config {
 	}
 	frac := float64(sms) / float64(cfg.NumSMs)
 	cfg.NumSMs = sms
-	cfg.Mem.DRAMBytesPerCycle = maxInt(8, int(float64(cfg.Mem.DRAMBytesPerCycle)*frac))
-	cfg.Mem.DRAMChannels = maxInt(1, int(float64(cfg.Mem.DRAMChannels)*frac))
-	cfg.Mem.L2SizeBytes = maxInt(64<<10, int(float64(cfg.Mem.L2SizeBytes)*frac))
-	cfg.Mem.L2Banks = maxInt(1, int(float64(cfg.Mem.L2Banks)*frac))
-	cfg.Mem.L2BytesPerCycle = maxInt(8, cfg.Mem.L2BytesPerCycle)
+	cfg.Mem.DRAMBytesPerCycle = max(8, int(float64(cfg.Mem.DRAMBytesPerCycle)*frac))
+	cfg.Mem.DRAMChannels = max(1, int(float64(cfg.Mem.DRAMChannels)*frac))
+	cfg.Mem.L2SizeBytes = max(64<<10, int(float64(cfg.Mem.L2SizeBytes)*frac))
+	cfg.Mem.L2Banks = max(1, int(float64(cfg.Mem.L2Banks)*frac))
+	cfg.Mem.L2BytesPerCycle = max(8, cfg.Mem.L2BytesPerCycle)
 	return cfg
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // launchOn runs a generated kernel on a fresh device of the given config,
@@ -217,25 +216,32 @@ func (m *zeroMemory) alloc(n int) uint64 {
 }
 
 func (m *zeroMemory) Read(addr uint64, buf []byte) {
-	for i := range buf {
-		p, ok := m.pages[(addr+uint64(i))>>zpageBits]
-		if !ok {
-			buf[i] = 0
-			continue
+	for len(buf) > 0 {
+		off := addr & (1<<zpageBits - 1)
+		n := min(len(buf), 1<<zpageBits-int(off))
+		if p, ok := m.pages[addr>>zpageBits]; ok {
+			copy(buf[:n], p[off:])
+		} else {
+			clear(buf[:n])
 		}
-		buf[i] = p[(addr+uint64(i))&(1<<zpageBits-1)]
+		addr += uint64(n)
+		buf = buf[n:]
 	}
 }
 
 func (m *zeroMemory) Write(addr uint64, data []byte) {
-	for i := range data {
-		a := addr + uint64(i)
-		p, ok := m.pages[a>>zpageBits]
+	for len(data) > 0 {
+		page := addr >> zpageBits
+		off := addr & (1<<zpageBits - 1)
+		n := min(len(data), 1<<zpageBits-int(off))
+		p, ok := m.pages[page]
 		if !ok {
 			p = make([]byte, 1<<zpageBits)
-			m.pages[a>>zpageBits] = p
+			m.pages[page] = p
 		}
-		p[a&(1<<zpageBits-1)] = data[i]
+		copy(p[off:], data[:n])
+		addr += uint64(n)
+		data = data[n:]
 	}
 }
 

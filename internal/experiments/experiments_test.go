@@ -3,18 +3,49 @@ package experiments
 import (
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
+
+// quickCache memoizes Quick-mode tables per test process: the artifacts
+// are deterministic, several tests assert different properties of the
+// same table, and the largest (fig17) takes seconds to simulate.
+// Worker-count independence is covered by TestParallelDeterminism.
+var quickCache = struct {
+	sync.Mutex
+	m map[string]*Table
+}{m: map[string]*Table{}}
+
+// runQuick regenerates experiment id in Quick mode, at most once per
+// test process.
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	quickCache.Lock()
+	defer quickCache.Unlock()
+	if tb, ok := quickCache.m[id]; ok {
+		return tb
+	}
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	quickCache.m[id] = tb
+	return tb
+}
 
 // All experiments must run in Quick mode and produce well-formed tables.
 func TestAllExperimentsQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tb, err := e.Run(Options{Quick: true})
-			if err != nil {
-				t.Fatalf("%s: %v", e.ID, err)
+			if testing.Short() && e.ID == "fig17" {
+				t.Skip("fig17 simulates the SIMT GEMM series; skipped in -short (CI) mode")
 			}
+			tb := runQuick(t, e.ID)
 			if tb.ID != e.ID {
 				t.Errorf("table id %q != experiment id %q", tb.ID, e.ID)
 			}
@@ -63,10 +94,7 @@ func TestFig9Exact(t *testing.T) {
 
 // Figure 12c must show the knee at four warps.
 func TestFig12cKnee(t *testing.T) {
-	tb, err := Fig12c(Options{Quick: true})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tb := runQuick(t, "fig12c")
 	cyc := make([]float64, 0, 8)
 	for _, r := range tb.Rows {
 		v, err := strconv.ParseUint(r[1], 10, 64)
@@ -88,10 +116,7 @@ func TestFig12cKnee(t *testing.T) {
 
 // Figure 14b's Quick-mode correlation should still be very high.
 func TestFig14bCorrelation(t *testing.T) {
-	tb, err := Fig14b(Options{Quick: true})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tb := runQuick(t, "fig14b")
 	found := false
 	for _, n := range tb.Notes {
 		if strings.Contains(n, "IPC correlation") {
@@ -125,10 +150,7 @@ func fmtSscan(s string, out *float64) (int, error) {
 // Figure 16's shape: global-operand load latency grows with size while
 // shared-memory load latency stays flat.
 func TestFig16Shape(t *testing.T) {
-	tb, err := Fig16(Options{Quick: true})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tb := runQuick(t, "fig16")
 	first := tb.Rows[0]
 	last := tb.Rows[len(tb.Rows)-1]
 	shFirst, _ := strconv.ParseFloat(first[1], 64)
@@ -149,10 +171,10 @@ func TestFig16Shape(t *testing.T) {
 // Figure 17's ordering: tensor-core GEMMs beat the SIMT baselines, and
 // nothing exceeds the theoretical limit.
 func TestFig17Ordering(t *testing.T) {
-	tb, err := Fig17(Options{Quick: true})
-	if err != nil {
-		t.Fatal(err)
+	if testing.Short() {
+		t.Skip("fig17 simulates the SIMT GEMM series; skipped in -short (CI) mode")
 	}
+	tb := runQuick(t, "fig17")
 	last := tb.Rows[len(tb.Rows)-1]
 	get := func(col string) float64 {
 		for i, c := range tb.Columns {

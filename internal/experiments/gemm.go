@@ -41,23 +41,35 @@ func Fig14a(opt Options) (*Table, error) {
 
 	t := &Table{ID: "fig14a", Title: "WMMA GEMM kernel cycles vs matrix size (simulator vs hardware proxy)",
 		Columns: []string{"size", "sim_cycles", "hw_cycles", "sim/hw"}}
-	var ratios, simSeries, hwSeries []float64
-	for _, n := range sizes {
+	type point struct {
+		cycles uint64
+		hw     float64
+	}
+	pts := make([]point, len(sizes))
+	err := forEach(opt, len(sizes), func(i int) error {
+		n := sizes[i]
 		l, err := kernels.WMMAGemmShared(kernels.TensorMixed, n, n, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st, err := launchOn(cfg, l, gemmElems(wmma.F32), gemmDims(n, n, n), 0, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		hw := proxy.Cycles(hwproxy.GemmSpec{M: n, N: n, K: n, Kind: hwproxy.TensorCore,
-			BlockM: 32, BlockN: 32, CBytes: 4})
-		ratio := float64(st.Cycles) / hw
+		pts[i] = point{st.Cycles, proxy.Cycles(hwproxy.GemmSpec{M: n, N: n, K: n, Kind: hwproxy.TensorCore,
+			BlockM: 32, BlockN: 32, CBytes: 4})}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ratios, simSeries, hwSeries []float64
+	for i, p := range pts {
+		ratio := float64(p.cycles) / p.hw
 		ratios = append(ratios, ratio)
-		simSeries = append(simSeries, float64(st.Cycles))
-		hwSeries = append(hwSeries, hw)
-		t.AddRow(fmtI(uint64(n)), fmtI(st.Cycles), fmtF(hw), fmtF(ratio))
+		simSeries = append(simSeries, float64(p.cycles))
+		hwSeries = append(hwSeries, p.hw)
+		t.AddRow(fmtI(uint64(sizes[i])), fmtI(p.cycles), fmtF(p.hw), fmtF(ratio))
 	}
 	t.Note("relative deviation stddev = %.1f%% (paper: < 5%%)", 100*stats.StdDev(ratios)/stats.Mean(ratios))
 	t.Note("cycle-count correlation = %.2f%%", 100*stats.Correlation(simSeries, hwSeries))
@@ -124,15 +136,24 @@ func Fig14b(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "fig14b", Title: "CUTLASS GEMM IPC: simulator vs hardware proxy",
 		Columns: []string{"config", "hw_ipc", "sim_ipc"}}
-	var hws, sims []float64
-	for _, p := range pts {
-		hw, sim, err := cutlassPoint(cfg, proxy, p.c, 0)
+	type ipcPoint struct{ hw, sim float64 }
+	res := make([]ipcPoint, len(pts))
+	err := forEach(opt, len(pts), func(i int) error {
+		hw, sim, err := cutlassPoint(cfg, proxy, pts[i].c, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		hws = append(hws, hw)
-		sims = append(sims, sim)
-		t.AddRow(p.c.String(), fmtF(hw), fmtF(sim))
+		res[i] = ipcPoint{hw, sim}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var hws, sims []float64
+	for i, r := range res {
+		hws = append(hws, r.hw)
+		sims = append(sims, r.sim)
+		t.AddRow(pts[i].c.String(), fmtF(r.hw), fmtF(r.sim))
 	}
 	corr := stats.Correlation(hws, sims)
 	t.Note("IPC correlation = %.2f%% over %d kernels (paper: 99.6%%)", 100*corr, len(pts))
@@ -159,7 +180,10 @@ func Fig14c(opt Options) (*Table, error) {
 
 	t := &Table{ID: "fig14c", Title: "CUTLASS GEMM IPC vs matrix size",
 		Columns: []string{"size", "hw_ipc", "sim_ipc", "sim/hw"}}
-	for _, n := range sizes {
+	type ipcPoint struct{ hw, sim float64 }
+	res := make([]ipcPoint, len(sizes))
+	err := forEach(opt, len(sizes), func(i int) error {
+		n := sizes[i]
 		cap := maxCTAs
 		if n >= 1024 {
 			cap = cfg.NumSMs * 12 // sample ~a wave of CTAs for the largest sizes
@@ -167,9 +191,16 @@ func Fig14c(opt Options) (*Table, error) {
 		hw, sim, err := cutlassPoint(cfg, proxy, cutlass.GemmConfig{
 			Policy: pol, Precision: kernels.TensorMixed, M: n, N: n, K: n}, cap)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(fmtI(uint64(n)), fmtF(hw), fmtF(sim), fmtF(sim/hw))
+		res[i] = ipcPoint{hw, sim}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		t.AddRow(fmtI(uint64(sizes[i])), fmtF(r.hw), fmtF(r.sim), fmtF(r.sim/r.hw))
 	}
 	t.Note("the paper's Figure 14c shows GPGPU-Sim trending above hardware as size grows")
 	return t, nil
@@ -233,31 +264,42 @@ func Fig16(opt Options) (*Table, error) {
 	cfg := scaledTitanV(sms)
 	t := &Table{ID: "fig16", Title: "Median wmma latency vs matrix size (shared vs global operands)",
 		Columns: []string{"size", "load(sh)", "load(gl)", "mma(sh)", "mma(gl)", "store(sh)", "store(gl)"}}
-	for _, n := range sizes {
+	rows := make([][6]float64, len(sizes))
+	err := forEach(opt, len(sizes), func(i int) error {
+		n := sizes[i]
 		maxCTAs := cfg.NumSMs * 8
 		shared, err := cutlass.Build(cutlass.GemmConfig{
 			Policy:    cutlass.DefaultPolicies()[1],
 			Precision: kernels.TensorMixed, M: n, N: n, K: n,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		stSh, err := launchOn(cfg, shared, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		naive, err := kernels.WMMAGemmNaive(kernels.TensorMixed, n, n, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		stGl, err := launchOn(cfg, naive, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs*4, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(fmtI(uint64(n)),
-			fmtF(stats.Median(stSh.Trace.WmmaLoad)), fmtF(stats.Median(stGl.Trace.WmmaLoad)),
-			fmtF(stats.Median(stSh.Trace.WmmaMMA)), fmtF(stats.Median(stGl.Trace.WmmaMMA)),
-			fmtF(stats.Median(stSh.Trace.WmmaStore)), fmtF(stats.Median(stGl.Trace.WmmaStore)))
+		rows[i] = [6]float64{
+			stats.Median(stSh.Trace.WmmaLoad), stats.Median(stGl.Trace.WmmaLoad),
+			stats.Median(stSh.Trace.WmmaMMA), stats.Median(stGl.Trace.WmmaMMA),
+			stats.Median(stSh.Trace.WmmaStore), stats.Median(stGl.Trace.WmmaStore),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		t.AddRow(fmtI(uint64(sizes[i])),
+			fmtF(r[0]), fmtF(r[1]), fmtF(r[2]), fmtF(r[3]), fmtF(r[4]), fmtF(r[5]))
 	}
 	t.Note("shared-memory loads stay flat while global-operand loads grow with size — the paper reports >100× at large sizes")
 	return t, nil
@@ -313,34 +355,50 @@ func Fig17(opt Options) (*Table, error) {
 	t := &Table{ID: "fig17", Title: "Tensor core performance on the simulated Titan V (TFLOPS)",
 		Columns: cols}
 
-	// MAX PERF: pure HMMA issue on every SM.
-	maxPerfTFLOPS, err := fig17MaxPerf(cfg, scale, opt)
+	peak := gpu.TitanV().PeakTensorTFLOPS()
+
+	// One job per (size, series) cell, plus a final job for the MAX PERF
+	// microbenchmark — every cell is an independent launch on its own
+	// simulator, so the whole grid fans out across the worker pool.
+	cells := make([]float64, len(sizes)*len(series))
+	var maxPerfTFLOPS float64
+	err := forEach(opt, len(cells)+1, func(i int) error {
+		if i == len(cells) {
+			v, err := fig17MaxPerf(cfg, scale, opt)
+			if err != nil {
+				return err
+			}
+			maxPerfTFLOPS = v
+			return nil
+		}
+		n := sizes[i/len(series)]
+		s := series[i%len(series)]
+		k := n
+		if s.kCap > 0 && k > s.kCap && !opt.Quick {
+			k = s.kCap
+		} else if opt.Quick && k > 256 {
+			k = 256
+		}
+		l, err := s.build(n, n, k)
+		if err != nil {
+			return err
+		}
+		maxCTAs := cfg.NumSMs * 8
+		st, err := launchOn(cfg, l, gemmElems(s.cd), gemmDims(n, n, k), maxCTAs, false)
+		if err != nil {
+			return err
+		}
+		sampled := l.FLOPs * float64(st.CTAsSimulated) / float64(st.CTAsTotal)
+		cells[i] = sampled / st.Seconds(cfg) / 1e12 * scale
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	peak := gpu.TitanV().PeakTensorTFLOPS()
-
-	for _, n := range sizes {
+	for si, n := range sizes {
 		row := []string{fmtI(uint64(n))}
-		for _, s := range series {
-			k := n
-			if s.kCap > 0 && k > s.kCap && !opt.Quick {
-				k = s.kCap
-			} else if opt.Quick && k > 256 {
-				k = 256
-			}
-			l, err := s.build(n, n, k)
-			if err != nil {
-				return nil, err
-			}
-			maxCTAs := cfg.NumSMs * 8
-			st, err := launchOn(cfg, l, gemmElems(s.cd), gemmDims(n, n, k), maxCTAs, false)
-			if err != nil {
-				return nil, err
-			}
-			sampled := l.FLOPs * float64(st.CTAsSimulated) / float64(st.CTAsTotal)
-			tflops := sampled / st.Seconds(cfg) / 1e12 * scale
-			row = append(row, fmtF(tflops))
+		for ci := range series {
+			row = append(row, fmtF(cells[si*len(series)+ci]))
 		}
 		row = append(row, fmtF(maxPerfTFLOPS), fmtF(peak))
 		t.AddRow(row...)

@@ -258,19 +258,28 @@ func Fig12c(opt Options) (*Table, error) {
 		Columns: []string{"warps", "cycles", "cycles/warp-mma"}}
 	cfg := gpu.TitanV()
 	cfg.NumSMs = 1
-	var series []float64
-	for warps := 1; warps <= 8; warps++ {
+	cycles := make([]uint64, 8)
+	err := forEach(opt, len(cycles), func(i int) error {
+		warps := i + 1
 		l, err := kernels.MMALoop(kernels.TensorMixed, warps, iters, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st, err := launchOn(cfg, l, []wmma.Precision{wmma.F16}, [][2]int{{64, 64}}, 0, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		series = append(series, float64(st.Cycles))
-		perOp := float64(st.Cycles) / float64(warps*iters*2)
-		t.AddRow(fmtI(uint64(warps)), fmtI(st.Cycles), fmtF(perOp))
+		cycles[i] = st.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var series []float64
+	for i, c := range cycles {
+		warps := i + 1
+		series = append(series, float64(c))
+		t.AddRow(fmtI(uint64(warps)), fmtI(c), fmtF(float64(c)/float64(warps*iters*2)))
 	}
 	knee := series[4] / series[3]
 	t.Note("knee at 4 warps: cycles(5)/cycles(4) = %.2f (flat before, rising after — only 4 warps issue HMMA concurrently per SM)", knee)

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// forEach must visit every index exactly once, whatever the pool size.
+func TestForEachCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 53
+		var visits [53]atomic.Int32
+		err := forEach(Options{Workers: workers}, n, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// forEach must surface the lowest-indexed error, like a sequential run.
+func TestForEachError(t *testing.T) {
+	boom3 := errors.New("boom 3")
+	boom7 := errors.New("boom 7")
+	err := forEach(Options{Workers: 4}, 10, func(i int) error {
+		switch i {
+		case 3:
+			return boom3
+		case 7:
+			return boom7
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	// With a pool, index 7 may or may not run before the stop flag is
+	// seen; whichever errors were recorded, the lowest index wins.
+	if err != boom3 && err != boom7 {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if err := forEach(Options{Workers: 1}, 10, func(i int) error {
+		if i == 3 {
+			return boom3
+		}
+		if i > 3 {
+			t.Fatalf("sequential run continued past the error (i=%d)", i)
+		}
+		return nil
+	}); err != boom3 {
+		t.Fatalf("sequential error = %v, want boom 3", err)
+	}
+}
+
+// Parallel experiment runs must emit byte-identical tables to sequential
+// ones: every data point simulates on its own Simulator and the table is
+// assembled in point order, so worker count and completion order must not
+// leak into the output.
+func TestParallelDeterminism(t *testing.T) {
+	ids := []string{"fig12c", "fig14a", "fig16", "fig14b"}
+	if testing.Short() {
+		ids = []string{"fig12c", "fig14a"}
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := e.Run(Options{Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := e.Run(Options{Quick: true, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.String() != par.String() {
+				t.Errorf("parallel table differs from sequential:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+					seq.String(), par.String())
+			}
+		})
+	}
+}

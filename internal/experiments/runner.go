@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel experiment engine. Every experiment is a set of independent
+// data points (GEMM sizes, latency sweeps, warp counts) that each build
+// their own kernel, gpu.Simulator, mem.System and zeroMemory — nothing is
+// shared between points, so they fan out across a worker pool. Results are
+// written into index-addressed slots and tables are assembled in index
+// order afterwards, which makes the parallel output byte-identical to a
+// sequential run regardless of completion order.
+
+// workers resolves the Options.Workers knob: 0 means one worker per CPU,
+// 1 forces the sequential path.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// forEach runs fn(i) for every i in [0, n) on the option's worker pool.
+// fn must confine its writes to the i-th slot of result slices sized
+// before the call. On error the pool stops handing out new indexes and
+// the lowest-indexed error is returned, matching what a sequential run
+// would surface.
+func forEach(opt Options, n int, fn func(i int) error) error {
+	w := min(opt.workers(), n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errs   = make([]error, n)
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -167,9 +167,24 @@ func FromFloat64(f float64) Float16 {
 	return Float16(sign | uint16(e)<<manBits | uint16(m))
 }
 
+// f32Table holds the exact binary32 image of every binary16 value. The
+// conversion sits on the simulator's hottest path (every FEDP multiply
+// widens its inputs), so the 256 KiB table replaces the bit-twiddling
+// decode. It is filled once by init and read-only afterwards, which keeps
+// concurrent simulator instances race-free.
+var f32Table [1 << 16]float32
+
+func init() {
+	for i := range f32Table {
+		f32Table[i] = Float16(i).float32Slow()
+	}
+}
+
 // Float32 returns x converted exactly to float32 (every binary16 value is
 // exactly representable in binary32).
-func (x Float16) Float32() float32 {
+func (x Float16) Float32() float32 { return f32Table[x] }
+
+func (x Float16) float32Slow() float32 {
 	sign := uint32(x&signMask) << 16
 	exp := uint32(x>>manBits) & maxExpField
 	man := uint32(x & manMask)

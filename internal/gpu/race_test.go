@@ -1,0 +1,90 @@
+package gpu_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/ptx"
+)
+
+// Independent Simulator instances must be safe to run concurrently (the
+// experiment engine fans data points across goroutines, one simulator
+// each). Run with -race; the test also asserts the runs are deterministic
+// by comparing every goroutine's stats.
+func TestConcurrentSimulators(t *testing.T) {
+	const goroutines = 8
+	run := func() (*gpu.Stats, error) {
+		cfg := gpu.TitanV()
+		cfg.NumSMs = 2
+		l, err := kernels.MMALoop(kernels.TensorMixed, 4, 16, 2)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := gpu.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(gpu.LaunchSpec{
+			Kernel: l.Kernel, Grid: l.Grid, Block: l.Block,
+			Args: []uint64{0}, Global: ptx.NewFlatMemory(4096),
+		})
+	}
+
+	stats := make([]*gpu.Stats, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stats[g], errs[g] = run()
+		}(g)
+	}
+	wg.Wait()
+
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	first := stats[0]
+	if first.Cycles == 0 || first.TensorOps == 0 {
+		t.Fatalf("degenerate run: %+v", first)
+	}
+	for g, st := range stats[1:] {
+		if st.Cycles != first.Cycles || st.WarpInstructions != first.WarpInstructions ||
+			st.TensorOps != first.TensorOps {
+			t.Errorf("goroutine %d diverged: cycles %d vs %d, instrs %d vs %d",
+				g+1, st.Cycles, first.Cycles, st.WarpInstructions, first.WarpInstructions)
+		}
+	}
+}
+
+// A second Run on the same Simulator must fully reset per-run state.
+func TestRunReset(t *testing.T) {
+	cfg := gpu.TitanV()
+	cfg.NumSMs = 1
+	l, err := kernels.MMALoop(kernels.TensorMixed, 2, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := gpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := gpu.LaunchSpec{Kernel: l.Kernel, Grid: l.Grid, Block: l.Block,
+		Args: []uint64{0}, Global: ptx.NewFlatMemory(4096)}
+	st1, err := sim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := sim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.WarpInstructions != st2.WarpInstructions || st1.TensorOps != st2.TensorOps {
+		t.Errorf("second run diverged: instrs %d vs %d", st1.WarpInstructions, st2.WarpInstructions)
+	}
+}

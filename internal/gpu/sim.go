@@ -61,6 +61,9 @@ func (st *Stats) IPC() float64 {
 
 // Seconds converts the cycle count to wall time at the configured clock.
 func (st *Stats) Seconds(cfg Config) float64 {
+	if cfg.ClockMHz == 0 {
+		return 0
+	}
 	return float64(st.Cycles) / (cfg.ClockMHz * 1e6)
 }
 
@@ -102,6 +105,18 @@ type sm struct {
 	ctas     []*simCTA
 	warps    int // live warps
 	shared   int // shared bytes in use
+	// nextWake caches the earliest cycle at which this SM can issue again.
+	// While the global clock is below it the SM is skipped entirely — the
+	// idle-cycle fast-forward that lets Run jump over stall periods without
+	// rescanning every scheduler. It resets to the next cycle whenever the
+	// SM issues or receives a new CTA.
+	nextWake uint64
+	// Reusable per-instruction request buffers for accessMemory.
+	sharedReqs []mem.Request
+	globalReqs []mem.Request
+	// releaseWake collects barrier wake-ups triggered while this step's
+	// scan is in flight (see step).
+	releaseWake uint64
 }
 
 type subcore struct {
@@ -110,6 +125,12 @@ type subcore struct {
 	aluFree uint64
 	sfuFree uint64
 	greedy  int // index of the warp GTO sticks with
+	// nextWake mirrors sm.nextWake at sub-core granularity: while the
+	// clock is below it this sub-core's scheduler scan is skipped.
+	// pendingWake collects barrier releases that re-arm this sub-core's
+	// warps while its own scan is in flight.
+	nextWake    uint64
+	pendingWake uint64
 }
 
 type simCTA struct {
@@ -152,9 +173,11 @@ func (s *Simulator) Run(spec LaunchSpec) (*Stats, error) {
 		m.ctas = m.ctas[:0]
 		m.warps = 0
 		m.shared = 0
+		m.nextWake = 0
 		for _, sc := range m.subcores {
 			sc.warps = sc.warps[:0]
 			sc.tcFree, sc.aluFree, sc.sfuFree, sc.greedy = 0, 0, 0, 0
+			sc.nextWake, sc.pendingWake = 0, math.MaxUint64
 		}
 	}
 	// Initial dispatch: round-robin one CTA per SM per pass, so the grid
@@ -176,27 +199,47 @@ func (s *Simulator) Run(spec LaunchSpec) (*Stats, error) {
 	const maxCycles = 4_000_000_000
 	for {
 		issuedAny := false
+		addedAny := false
 		liveAny := false
 		var minWake uint64 = math.MaxUint64
 		for _, m := range s.sms {
-			iss, live, wake, err := m.step(st)
+			// An SM whose earliest possible issue is still in the future
+			// cannot change state on its own: warp wake-ups, barrier
+			// releases and CTA retirement all require an issue in this SM.
+			// Skipping it here is what turns stall periods into a single
+			// clock jump instead of per-cycle scheduler scans.
+			if m.nextWake <= s.cycle {
+				iss, _, wake, err := m.step(st)
+				if err != nil {
+					return nil, err
+				}
+				if iss {
+					issuedAny = true
+					m.nextWake = s.cycle + 1
+				} else {
+					// wake > cycle whenever nothing issued; clamp
+					// defensively so a stale value can never skip work.
+					m.nextWake = max(wake, s.cycle+1)
+				}
+			}
+			// Refill a completed CTA slot (one per SM per cycle).
+			added, err := d.fillOne(m)
 			if err != nil {
 				return nil, err
 			}
-			// Refill a completed CTA slot (one per SM per cycle).
-			if _, err := d.fillOne(m); err != nil {
-				return nil, err
+			if added {
+				addedAny = true
+				m.nextWake = s.cycle + 1
 			}
-			issuedAny = issuedAny || iss
-			liveAny = liveAny || live || len(m.ctas) > 0
-			if wake < minWake {
-				minWake = wake
+			liveAny = liveAny || len(m.ctas) > 0
+			if m.nextWake < minWake {
+				minWake = m.nextWake
 			}
 		}
 		if !liveAny && d.done() {
 			break
 		}
-		if issuedAny {
+		if issuedAny || addedAny {
 			s.cycle++
 		} else {
 			if minWake == math.MaxUint64 {
@@ -275,6 +318,7 @@ func (d *dispatcher) fillOne(m *sm) (bool, error) {
 			return false, err
 		}
 		sc := m.subcores[(m.warps+wi)%cfg.SubCores]
+		sc.nextWake = 0 // new warps can issue immediately
 		sw := &simWarp{warp: w, cta: cta, sc: sc, regReady: make([]uint64, k.NumRegs)}
 		if w.Exited {
 			sw.finished = true
@@ -297,16 +341,46 @@ func (d *dispatcher) fillOne(m *sm) (bool, error) {
 func (m *sm) step(st *Stats) (issued, live bool, wake uint64, err error) {
 	wake = math.MaxUint64
 	now := m.sim.cycle
+	m.releaseWake = math.MaxUint64
 	for _, sc := range m.subcores {
+		if sc.nextWake > now {
+			// Sub-core granularity of the idle fast-forward: all of this
+			// sub-core's warps are stalled, at a barrier, or finished, and
+			// none of that can change before nextWake except through a
+			// barrier release (handled below via pendingWake) or a CTA
+			// dispatch (which resets the wake).
+			live = live || len(sc.warps) > 0
+			if sc.nextWake < wake {
+				wake = sc.nextWake
+			}
+			continue
+		}
 		iss, lv, wk, e := m.stepSubcore(sc, now, st)
 		if e != nil {
 			return false, false, 0, e
 		}
+		if iss {
+			sc.nextWake = now + 1
+		} else {
+			sc.nextWake = max(wk, now+1)
+		}
+		// A barrier released during this sub-core's own scan re-arms warps
+		// the scan had already passed over.
+		if sc.pendingWake < sc.nextWake {
+			sc.nextWake = sc.pendingWake
+		}
+		sc.pendingWake = math.MaxUint64
 		issued = issued || iss
 		live = live || lv
-		if wk < wake {
-			wake = wk
+		if sc.nextWake < wake {
+			wake = sc.nextWake
 		}
+	}
+	// A barrier released mid-scan re-arms warps that earlier sub-core
+	// scans already skipped; fold their wake-up in so the SM-level
+	// fast-forward cannot sleep past them.
+	if m.releaseWake < wake {
+		wake = m.releaseWake
 	}
 	// Retire finished CTAs.
 	kept := m.ctas[:0]
@@ -353,63 +427,150 @@ func (sc *subcore) candidateOrder(policy SchedulerPolicy, buf []int) []int {
 		buf = append(buf, (start+i)%n)
 	}
 	if policy == GTO && n > 2 {
-		// After the greedy warp, prefer the oldest (least recently
-		// issued): simple selection over the remainder.
-		rest := buf[1:]
-		for i := 0; i < len(rest); i++ {
-			best := i
-			for j := i + 1; j < len(rest); j++ {
-				if sc.warps[rest[j]].lastIssue < sc.warps[rest[best]].lastIssue {
-					best = j
-				}
-			}
-			rest[i], rest[best] = rest[best], rest[i]
-		}
+		sortByLastIssue(sc, buf[1:])
 	}
 	return buf
 }
 
+// sortByLastIssue orders warp indexes oldest (least recently issued)
+// first: simple selection sort, stable on ties.
+func sortByLastIssue(sc *subcore, rest []int) {
+	for i := 0; i < len(rest); i++ {
+		best := i
+		for j := i + 1; j < len(rest); j++ {
+			if sc.warps[rest[j]].lastIssue < sc.warps[rest[best]].lastIssue {
+				best = j
+			}
+		}
+		rest[i], rest[best] = rest[best], rest[i]
+	}
+}
+
+// tryWarp attempts to issue warp idx of the sub-core. outcome is one of:
+// issued (an instruction went out), or blocked with wake holding the
+// earliest cycle the warp could become issuable (MaxUint64 when it has
+// none, e.g. finished or waiting at a barrier).
+func (m *sm) tryWarp(sc *subcore, idx int, now uint64, st *Stats) (issued, lv bool, wake uint64, err error) {
+	wake = math.MaxUint64
+	w := sc.warps[idx]
+	if w.finished {
+		return false, false, wake, nil
+	}
+	lv = true
+	if w.barrier {
+		return false, lv, wake, nil
+	}
+	if w.stallUntil > now {
+		return false, lv, w.stallUntil, nil
+	}
+	in := w.warp.Peek()
+	if in == nil {
+		m.finishWarp(w, now)
+		return false, lv, wake, nil
+	}
+	if ready, at := w.operandsReady(in, now); !ready {
+		w.stallUntil = at
+		return false, lv, at, nil
+	}
+	if free, at := m.unitFree(sc, in, now); !free {
+		return false, lv, at, nil
+	}
+	if err := m.issue(sc, w, in, now, st); err != nil {
+		return false, lv, wake, err
+	}
+	sc.greedy = idx
+	return true, lv, wake, nil
+}
+
 func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued, live bool, wake uint64, err error) {
 	wake = math.MaxUint64
+	n := len(sc.warps)
+	if n == 0 {
+		return false, false, wake, nil
+	}
+	if m.sim.cfg.Scheduler == GTO {
+		// Greedy-then-oldest: the greedy warp issues back to back in the
+		// common case, so try it before paying for the full candidate
+		// order (whose selection sort dominated the scheduler's cost).
+		if sc.greedy >= n {
+			sc.greedy = 0
+		}
+		iss, lv, wk, e := m.tryWarp(sc, sc.greedy, now, st)
+		live = lv
+		if wk < wake {
+			wake = wk
+		}
+		if e != nil || iss {
+			return iss, live, wake, e
+		}
+		// Cheap screen of the remaining warps, fused with building the
+		// candidate list: warps that are finished, at a barrier, or
+		// stalled cannot issue this cycle, and their bookkeeping (live,
+		// wake) does not depend on candidate order. The sorted scan is
+		// only worth paying when at least one warp survives the screen —
+		// during stall periods (the common case on memory-bound phases)
+		// this skips the selection entirely.
+		anyReady := false
+		var order [64]int
+		rest := order[:0]
+		for i := 1; i < n; i++ {
+			idx := (sc.greedy + i) % n
+			rest = append(rest, idx)
+			w := sc.warps[idx]
+			if w.finished {
+				continue
+			}
+			live = true
+			if w.barrier {
+				continue
+			}
+			if w.stallUntil > now {
+				if w.stallUntil < wake {
+					wake = w.stallUntil
+				}
+				continue
+			}
+			anyReady = true
+		}
+		if !anyReady {
+			return false, live, wake, nil
+		}
+		// Incremental selection: extract the least-recently-issued
+		// candidate one step at a time — the same sequence a full
+		// selection sort would visit — and stop at the first issue, which
+		// is typically the first extraction.
+		doSort := n > 2
+		for i := 0; i < len(rest); i++ {
+			if doSort {
+				best := i
+				for j := i + 1; j < len(rest); j++ {
+					if sc.warps[rest[j]].lastIssue < sc.warps[rest[best]].lastIssue {
+						best = j
+					}
+				}
+				rest[i], rest[best] = rest[best], rest[i]
+			}
+			iss, lv, wk, e := m.tryWarp(sc, rest[i], now, st)
+			live = live || lv
+			if wk < wake {
+				wake = wk
+			}
+			if e != nil || iss {
+				return iss, live, wake, e
+			}
+		}
+		return false, live, wake, nil
+	}
 	var order [64]int
 	for _, idx := range sc.candidateOrder(m.sim.cfg.Scheduler, order[:0]) {
-		w := sc.warps[idx]
-		if w.finished {
-			continue
+		iss, lv, wk, e := m.tryWarp(sc, idx, now, st)
+		live = live || lv
+		if wk < wake {
+			wake = wk
 		}
-		live = true
-		if w.barrier {
-			continue
+		if e != nil || iss {
+			return iss, live, wake, e
 		}
-		if w.stallUntil > now {
-			if w.stallUntil < wake {
-				wake = w.stallUntil
-			}
-			continue
-		}
-		in := w.warp.Peek()
-		if in == nil {
-			m.finishWarp(w, now)
-			continue
-		}
-		if ready, at := w.operandsReady(in, now); !ready {
-			w.stallUntil = at
-			if at < wake {
-				wake = at
-			}
-			continue
-		}
-		if free, at := m.unitFree(sc, in, now); !free {
-			if at < wake {
-				wake = at
-			}
-			continue
-		}
-		if err := m.issue(sc, w, in, now, st); err != nil {
-			return false, live, wake, err
-		}
-		sc.greedy = idx
-		return true, live, wake, nil
 	}
 	return false, live, wake, nil
 }
@@ -423,21 +584,10 @@ func (m *sm) finishWarp(w *simWarp, now uint64) {
 // operandsReady checks the scoreboard for RAW and WAW hazards.
 func (w *simWarp) operandsReady(in *ptx.Instr, now uint64) (bool, uint64) {
 	latest := uint64(0)
-	check := func(r ptx.Reg) {
-		if t := w.regReady[r.ID]; t > latest {
+	for _, id := range in.ScoreboardRegs() {
+		if t := w.regReady[id]; t > latest {
 			latest = t
 		}
-	}
-	for _, o := range in.Src {
-		if o.Kind == ptx.OperandReg {
-			check(o.Reg)
-		}
-	}
-	for _, r := range in.Dst {
-		check(r)
-	}
-	if in.Pred != nil {
-		check(*in.Pred)
 	}
 	if latest > now {
 		return false, latest
@@ -475,11 +625,7 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.Instr, now uint64, st *Stats
 		return err
 	}
 	st.WarpInstructions++
-	for lane := 0; lane < 32; lane++ {
-		if w.warp.Active[lane] {
-			st.ThreadInstructions++
-		}
-	}
+	st.ThreadInstructions += uint64(w.warp.NLanes())
 	w.lastIssue = now
 
 	done := now + uint64(cfg.IssueLatency)
@@ -537,7 +683,7 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.Instr, now uint64, st *Stats
 
 // accessMemory routes an instruction's accesses through the SM port.
 func (m *sm) accessMemory(res ptx.Result, now uint64) uint64 {
-	var shared, global []mem.Request
+	shared, global := m.sharedReqs[:0], m.globalReqs[:0]
 	for _, a := range res.Accesses {
 		r := mem.Request{Addr: a.Addr, Bits: a.Bits, Store: a.Store}
 		if a.Space == ptx.Shared {
@@ -546,6 +692,7 @@ func (m *sm) accessMemory(res ptx.Result, now uint64) uint64 {
 			global = append(global, r)
 		}
 	}
+	m.sharedReqs, m.globalReqs = shared[:0], global[:0]
 	done := now
 	if len(shared) > 0 {
 		if t := m.port.AccessShared(now, shared); t > done {
@@ -571,6 +718,17 @@ func (m *sm) maybeReleaseBarrier(cta *simCTA, now uint64) {
 			w.barrier = false
 			w.warp.AtBarrier = false
 			w.stallUntil = now + uint64(m.sim.cfg.BarrierLatency)
+			if w.stallUntil < m.releaseWake {
+				m.releaseWake = w.stallUntil
+			}
+			// Wake the warp's sub-core: directly if its scan already ran
+			// this cycle, and via pendingWake if it is mid-scan.
+			if w.stallUntil < w.sc.nextWake {
+				w.sc.nextWake = w.stallUntil
+			}
+			if w.stallUntil < w.sc.pendingWake {
+				w.sc.pendingWake = w.stallUntil
+			}
 		}
 	}
 	cta.atBarrier = 0

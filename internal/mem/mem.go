@@ -72,9 +72,14 @@ func TitanV() Config {
 // memory transactions the instruction generates. Requests wider than a
 // sector span several sectors.
 func Coalesce(cfg Config, reqs []Request) []uint64 {
+	return coalesceInto(nil, cfg, reqs)
+}
+
+// coalesceInto is Coalesce appending into a reusable buffer. A warp
+// touches at most a few dozen sectors per instruction, so linear
+// first-touch dedup beats a map both in time and allocation.
+func coalesceInto(out []uint64, cfg Config, reqs []Request) []uint64 {
 	sec := uint64(cfg.SectorBytes)
-	seen := make(map[uint64]bool, len(reqs))
-	var out []uint64
 	for _, r := range reqs {
 		bytes := uint64(r.Bits+7) / 8
 		if bytes == 0 {
@@ -82,11 +87,15 @@ func Coalesce(cfg Config, reqs []Request) []uint64 {
 		}
 		first := r.Addr / sec
 		last := (r.Addr + bytes - 1) / sec
+	sectors:
 		for s := first; s <= last; s++ {
-			if !seen[s] {
-				seen[s] = true
-				out = append(out, s*sec)
+			addr := s * sec
+			for _, seen := range out {
+				if seen == addr {
+					continue sectors
+				}
 			}
+			out = append(out, addr)
 		}
 	}
 	return out
@@ -96,17 +105,48 @@ func Coalesce(cfg Config, reqs []Request) []uint64 {
 // memory needs for one warp access: the maximum, over banks, of distinct
 // bank words addressed (identical words broadcast in one pass).
 func SharedConflictPasses(cfg Config, reqs []Request) int {
-	banks := make([]map[uint64]bool, cfg.SharedBanks)
+	return sharedConflictPasses(&bankScratch{}, cfg, reqs)
+}
+
+// bankScratch holds per-bank distinct-word lists, reused across accesses.
+type bankScratch struct {
+	words [][]uint64
+}
+
+func sharedConflictPasses(scratch *bankScratch, cfg Config, reqs []Request) int {
+	if len(scratch.words) < cfg.SharedBanks {
+		scratch.words = make([][]uint64, cfg.SharedBanks)
+	}
+	banks := scratch.words[:cfg.SharedBanks]
+	for i := range banks {
+		banks[i] = banks[i][:0]
+	}
+	// Shift/mask fast path for the universal 4-byte × 32-bank geometry.
+	pow2 := cfg.BankWidth == 4 && cfg.SharedBanks == 32
 	passes := 0
 	for _, r := range reqs {
 		bytes := uint64(r.Bits+7) / 8
 		for off := uint64(0); off < bytes; off += uint64(cfg.BankWidth) {
-			word := (r.Addr + off) / uint64(cfg.BankWidth)
-			b := int(word % uint64(cfg.SharedBanks))
-			if banks[b] == nil {
-				banks[b] = make(map[uint64]bool)
+			var word uint64
+			var b int
+			if pow2 {
+				word = (r.Addr + off) >> 2
+				b = int(word & 31)
+			} else {
+				word = (r.Addr + off) / uint64(cfg.BankWidth)
+				b = int(word % uint64(cfg.SharedBanks))
 			}
-			banks[b][word] = true
+			dup := false
+			for _, seen := range banks[b] {
+				if seen == word {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			banks[b] = append(banks[b], word)
 			if len(banks[b]) > passes {
 				passes = len(banks[b])
 			}

@@ -92,6 +92,12 @@ type SMPort struct {
 	lsuFree    uint64
 	sharedFree uint64
 
+	// Reusable per-instruction scratch: coalesced sector list and the
+	// shared-memory bank conflict counter. An SMPort belongs to exactly
+	// one SM of one Simulator, so the scratch is never shared.
+	sectors []uint64
+	banks   bankScratch
+
 	L1Hits, L1Misses   uint64
 	GlobalTransactions uint64
 	SharedAccesses     uint64
@@ -115,7 +121,8 @@ func (s *System) NewSMPort() *SMPort {
 // still consumes downstream bandwidth but the warp does not wait on it).
 func (p *SMPort) AccessGlobal(now uint64, reqs []Request) uint64 {
 	cfg := p.sys.cfg
-	sectors := Coalesce(cfg, reqs)
+	p.sectors = coalesceInto(p.sectors[:0], cfg, reqs)
+	sectors := p.sectors
 	store := len(reqs) > 0 && reqs[0].Store
 	done := now
 	for _, sec := range sectors {
@@ -152,7 +159,7 @@ func (p *SMPort) AccessGlobal(now uint64, reqs []Request) uint64 {
 // serializing bank conflicts.
 func (p *SMPort) AccessShared(now uint64, reqs []Request) uint64 {
 	cfg := p.sys.cfg
-	passes := SharedConflictPasses(cfg, reqs)
+	passes := sharedConflictPasses(&p.banks, cfg, reqs)
 	p.SharedAccesses++
 	p.SharedConflicts += uint64(passes - 1)
 	issue := now

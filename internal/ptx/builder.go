@@ -280,6 +280,11 @@ func (b *Builder) Build() (*Kernel, error) {
 		}
 	}
 	k := b.k
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		in.sbRegs = appendScoreboardRegs(nil, in)
+		in.sbCached = true
+	}
 	return &k, nil
 }
 

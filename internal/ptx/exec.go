@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/fp16"
+	"repro/internal/tensor"
 )
 
 // Memory is the byte-addressable global store the executor reads and
@@ -88,7 +89,9 @@ type Access struct {
 }
 
 // Result reports the architectural effects of one executed instruction
-// that the timing model needs.
+// that the timing model needs. Accesses aliases a per-warp scratch buffer:
+// it is valid until the warp's next Step call, which is the synchronous
+// consumption pattern of the timing model.
 type Result struct {
 	Instr    *Instr
 	Accesses []Access
@@ -109,7 +112,19 @@ type Warp struct {
 	Active    [32]bool
 	nLanes    int
 	regs      []uint64 // [lane*NumRegs + reg]
+
+	// Scratch buffers reused across Step calls so the hot execution path
+	// stays allocation-free: a staging buffer for loads/stores, the
+	// Result.Accesses backing array, and wmma per-lane address lists.
+	membuf  [16]byte
+	accBuf  []Access
+	addrBuf []uint64
+	tiles   [4]*tensor.Matrix // wmma.mma A/B/C/D tile scratch
 }
+
+// NLanes returns the number of active lanes (fixed at construction:
+// branches are warp-uniform, so the active set never changes).
+func (w *Warp) NLanes() int { return w.nLanes }
 
 // NewWarp builds warp id of a CTA, loading kernel arguments into the
 // parameter registers of every lane. args must match the kernel's
@@ -189,7 +204,7 @@ func (w *Warp) sreg(lane int, s SReg) uint64 {
 	return 0
 }
 
-func (w *Warp) operand(lane int, o Operand) uint64 {
+func (w *Warp) operand(lane int, o *Operand) uint64 {
 	switch o.Kind {
 	case OperandReg:
 		return w.reg(lane, o.Reg)
@@ -229,12 +244,20 @@ func (w *Warp) Peek() *Instr {
 // warp-uniform over enabled lanes (the kernels in this repository use
 // predication for per-lane conditionals); divergent branches are an error.
 func (w *Warp) Step() (Result, error) {
+	res, err := w.step()
+	if cap(res.Accesses) > cap(w.accBuf) {
+		w.accBuf = res.Accesses[:0]
+	}
+	return res, err
+}
+
+func (w *Warp) step() (Result, error) {
 	in := w.Peek()
 	if in == nil {
 		w.Exited = true
 		return Result{Exited: true}, nil
 	}
-	res := Result{Instr: in}
+	res := Result{Instr: in, Accesses: w.accBuf[:0]}
 
 	switch in.Op {
 	case OpBra:
@@ -289,16 +312,162 @@ func (w *Warp) Step() (Result, error) {
 		return res, nil
 	}
 
+	if err := w.execALUWarp(in); err != nil {
+		return res, err
+	}
+	w.PC++
+	return res, nil
+}
+
+// execALUWarp executes one warp-wide ALU instruction. The opcode/type
+// dispatch is hoisted out of the 32-lane loop for the operations that
+// dominate the generated GEMM kernels (mad and the basic arithmetic);
+// everything else falls back to the per-lane path.
+func (w *Warp) execALUWarp(in *Instr) error {
+	switch in.Op {
+	case OpMad:
+		if w.lanesMad(in) {
+			return nil
+		}
+	case OpAdd, OpSub, OpMul:
+		if w.lanesArith(in) {
+			return nil
+		}
+	}
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
 			continue
 		}
 		if err := w.execALU(lane, in); err != nil {
-			return res, err
+			return err
 		}
 	}
-	w.PC++
-	return res, nil
+	return nil
+}
+
+// lanesMad is the hoisted mad loop for the types the kernels use; it
+// returns false to fall back to the generic per-lane path. The math
+// replicates mad exactly.
+func (w *Warp) lanesMad(in *Instr) bool {
+	nr := w.Kernel.NumRegs
+	a, b, c := &in.Src[0], &in.Src[1], &in.Src[2]
+	d := in.Dst[0].ID
+	switch in.Type {
+	case U32:
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !w.laneEnabled(lane, in) {
+				continue
+			}
+			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
+			w.regs[base+d] = (av*bv + cv) & 0xffffffff
+		}
+	case S32:
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !w.laneEnabled(lane, in) {
+				continue
+			}
+			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
+			w.regs[base+d] = uint64(uint32(int32(uint32(av))*int32(uint32(bv)) + int32(uint32(cv))))
+		}
+	case U64:
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !w.laneEnabled(lane, in) {
+				continue
+			}
+			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
+			w.regs[base+d] = av*bv + cv
+		}
+	case F32:
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !w.laneEnabled(lane, in) {
+				continue
+			}
+			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
+			w.regs[base+d] = bitsF32(float32(math.FMA(float64(f32bits(av)), float64(f32bits(bv)), float64(f32bits(cv)))))
+		}
+	case F16X2:
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !w.laneEnabled(lane, in) {
+				continue
+			}
+			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
+			lo := bitsH16(fp16.FMA(h16(av&0xffff), h16(bv&0xffff), h16(cv&0xffff)))
+			hi := bitsH16(fp16.FMA(h16(av>>16&0xffff), h16(bv>>16&0xffff), h16(cv>>16&0xffff)))
+			w.regs[base+d] = hi<<16 | lo
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// lanesArith is the hoisted add/sub/mul loop for the common types; it
+// returns false to fall back. The math replicates arith exactly.
+func (w *Warp) lanesArith(in *Instr) bool {
+	nr := w.Kernel.NumRegs
+	a, b := &in.Src[0], &in.Src[1]
+	d := in.Dst[0].ID
+	op := in.Op
+	switch in.Type {
+	case U32, U64:
+		mask := uint64(0xffffffff)
+		if in.Type == U64 {
+			mask = ^uint64(0)
+		}
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !w.laneEnabled(lane, in) {
+				continue
+			}
+			x, y := w.srcVal(base, lane, a)&mask, w.srcVal(base, lane, b)&mask
+			var v uint64
+			switch op {
+			case OpAdd:
+				v = x + y
+			case OpSub:
+				v = x - y
+			default:
+				v = x * y
+			}
+			w.regs[base+d] = v & mask
+		}
+	case S32:
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !w.laneEnabled(lane, in) {
+				continue
+			}
+			x, y := int32(uint32(w.srcVal(base, lane, a))), int32(uint32(w.srcVal(base, lane, b)))
+			var v int32
+			switch op {
+			case OpAdd:
+				v = x + y
+			case OpSub:
+				v = x - y
+			default:
+				v = x * y
+			}
+			w.regs[base+d] = uint64(uint32(v))
+		}
+	case F32:
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !w.laneEnabled(lane, in) {
+				continue
+			}
+			x, y := f32bits(w.srcVal(base, lane, a)), f32bits(w.srcVal(base, lane, b))
+			var v float32
+			switch op {
+			case OpAdd:
+				v = x + y
+			case OpSub:
+				v = x - y
+			default:
+				v = x * y
+			}
+			w.regs[base+d] = bitsF32(v)
+		}
+	default:
+		return false
+	}
+	return true
 }
 
 // branchVote evaluates the branch guard across enabled lanes.
@@ -331,12 +500,12 @@ func (w *Warp) execLoad(in *Instr, res *Result) {
 	if words == 0 {
 		words = 1
 	}
-	buf := make([]byte, in.Width/8)
+	buf := w.membuf[:in.Width/8]
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
 			continue
 		}
-		addr := w.operand(lane, in.Src[0])
+		addr := w.operand(lane, &in.Src[0])
 		sp, a := w.Env.resolveSpace(in.Space, addr)
 		res.Accesses = append(res.Accesses, Access{Lane: lane, Addr: a, Bits: in.Width, Space: sp})
 		w.Env.read(in.Space, addr, buf)
@@ -356,20 +525,20 @@ func (w *Warp) execStore(in *Instr, res *Result) {
 	if words == 0 {
 		words = 1
 	}
-	buf := make([]byte, in.Width/8)
+	buf := w.membuf[:in.Width/8]
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
 			continue
 		}
-		addr := w.operand(lane, in.Src[0])
+		addr := w.operand(lane, &in.Src[0])
 		sp, a := w.Env.resolveSpace(in.Space, addr)
 		res.Accesses = append(res.Accesses, Access{Lane: lane, Addr: a, Bits: in.Width, Space: sp, Store: true})
 		if in.Width == 16 {
-			v := w.operand(lane, in.Src[1])
+			v := w.operand(lane, &in.Src[1])
 			buf[0], buf[1] = byte(v), byte(v>>8)
 		} else {
 			for i := 0; i < words; i++ {
-				v := w.operand(lane, in.Src[1+i])
+				v := w.operand(lane, &in.Src[1+i])
 				buf[4*i], buf[4*i+1], buf[4*i+2], buf[4*i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 			}
 		}
@@ -377,9 +546,29 @@ func (w *Warp) execStore(in *Instr, res *Result) {
 	}
 }
 
+// srcVal fetches one source operand with the lane's register base
+// precomputed. The register path must stay small enough to inline into
+// the ALU lane loops; immediates and special registers take the outlined
+// slow path.
+func (w *Warp) srcVal(base, lane int, o *Operand) uint64 {
+	if o.Kind == OperandReg {
+		return w.regs[base+o.Reg.ID]
+	}
+	return w.srcValSlow(lane, o)
+}
+
+//go:noinline
+func (w *Warp) srcValSlow(lane int, o *Operand) uint64 {
+	if o.Kind == OperandImm {
+		return o.Imm
+	}
+	return w.sreg(lane, o.SReg)
+}
+
 func (w *Warp) execALU(lane int, in *Instr) error {
-	get := func(i int) uint64 { return w.operand(lane, in.Src[i]) }
-	set := func(v uint64) { w.setReg(lane, in.Dst[0], v) }
+	base := lane * w.Kernel.NumRegs
+	get := func(i int) uint64 { return w.srcVal(base, lane, &in.Src[i]) }
+	set := func(v uint64) { w.regs[base+in.Dst[0].ID] = v }
 
 	switch in.Op {
 	case OpMov:

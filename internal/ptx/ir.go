@@ -243,6 +243,47 @@ type Instr struct {
 
 	Target  string // branch target label
 	Comment string
+
+	// sbRegs caches the deduplicated scoreboard registers (register
+	// sources, destinations and the guard predicate) the timing model
+	// checks before issue; Builder.Build precomputes it so the per-cycle
+	// hazard check walks a flat list instead of re-classifying operands.
+	sbRegs   []int32
+	sbCached bool
+}
+
+// ScoreboardRegs returns the deduplicated register IDs this instruction
+// reads or writes, for RAW/WAW hazard checks. Kernels built through
+// Builder.Build (and therefore Parse) have it precomputed; hand-assembled
+// Instr values fall back to computing it on the fly.
+func (in *Instr) ScoreboardRegs() []int32 {
+	if in.sbCached {
+		return in.sbRegs
+	}
+	return appendScoreboardRegs(nil, in)
+}
+
+func appendScoreboardRegs(ids []int32, in *Instr) []int32 {
+	add := func(id int) {
+		for _, x := range ids {
+			if int(x) == id {
+				return
+			}
+		}
+		ids = append(ids, int32(id))
+	}
+	for _, o := range in.Src {
+		if o.Kind == OperandReg {
+			add(o.Reg.ID)
+		}
+	}
+	for _, r := range in.Dst {
+		add(r.ID)
+	}
+	if in.Pred != nil {
+		add(in.Pred.ID)
+	}
+	return ids
 }
 
 // Kernel is a compiled PTX entry function.

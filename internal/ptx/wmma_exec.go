@@ -16,7 +16,7 @@ import (
 
 // uniformOperand reads an operand that must hold the same value in every
 // enabled lane (wmma base addresses and strides are warp-level values).
-func (w *Warp) uniformOperand(in *Instr, o Operand) (uint64, error) {
+func (w *Warp) uniformOperand(in *Instr, o *Operand) (uint64, error) {
 	var v uint64
 	first := true
 	for lane := 0; lane < 32; lane++ {
@@ -40,9 +40,8 @@ func (w *Warp) uniformOperand(in *Instr, o Operand) (uint64, error) {
 
 // fragAccesses converts one lane's fragment element addresses into the
 // coalesced SASS-level accesses of Section III-C: maximal consecutive runs
-// split into ≤128-bit pieces.
-func fragAccesses(lane int, addrs []uint64, elemBits int, space Space, store bool) []Access {
-	var out []Access
+// split into ≤128-bit pieces, appended to dst.
+func fragAccesses(dst []Access, lane int, addrs []uint64, elemBits int, space Space, store bool) []Access {
 	i := 0
 	for i < len(addrs) {
 		j := i + 1
@@ -56,32 +55,40 @@ func fragAccesses(lane int, addrs []uint64, elemBits int, space Space, store boo
 			if b > 128 {
 				b = 128
 			}
-			out = append(out, Access{Lane: lane, Addr: base, Bits: b, Space: space, Store: store})
+			dst = append(dst, Access{Lane: lane, Addr: base, Bits: b, Space: space, Store: store})
 			base += uint64(b / 8)
 			bits -= b
 		}
 		i = j
 	}
-	return out
+	return dst
+}
+
+// laneAddrs returns the reusable per-lane address scratch, grown to n.
+func (w *Warp) laneAddrs(n int) []uint64 {
+	if cap(w.addrBuf) < n {
+		w.addrBuf = make([]uint64, n)
+	}
+	return w.addrBuf[:n]
 }
 
 func (w *Warp) execWmmaLoad(in *Instr, res *Result) error {
 	m := in.WMap
-	base, err := w.uniformOperand(in, in.Src[0])
+	base, err := w.uniformOperand(in, &in.Src[0])
 	if err != nil {
 		return err
 	}
-	stride, err := w.uniformOperand(in, in.Src[1])
+	stride, err := w.uniformOperand(in, &in.Src[1])
 	if err != nil {
 		return err
 	}
 	elemBytes := uint64(cuda4BitBytes(m.Elem))
-	buf := make([]byte, 4)
+	buf := w.membuf[:4]
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
 			continue
 		}
-		addrs := make([]uint64, len(m.Lanes[lane]))
+		addrs := w.laneAddrs(len(m.Lanes[lane]))
 		for slot, c := range m.Lanes[lane] {
 			off := memOffsetFor(m, c, int(stride))
 			addr := base + uint64(off)*elemBytes
@@ -98,40 +105,40 @@ func (w *Warp) execWmmaLoad(in *Instr, res *Result) error {
 			w.setReg(lane, in.Dst[slot], v)
 		}
 		sp, _ := w.Env.resolveSpace(in.Space, addrs[0])
-		res.Accesses = append(res.Accesses, fragAccesses(lane, addrs, m.Elem.Bits(), sp, false)...)
+		res.Accesses = fragAccesses(res.Accesses, lane, addrs, m.Elem.Bits(), sp, false)
 	}
 	return nil
 }
 
 func (w *Warp) execWmmaStore(in *Instr, res *Result) error {
 	m := in.WMap
-	base, err := w.uniformOperand(in, in.Src[0])
+	base, err := w.uniformOperand(in, &in.Src[0])
 	if err != nil {
 		return err
 	}
-	stride, err := w.uniformOperand(in, in.Src[1])
+	stride, err := w.uniformOperand(in, &in.Src[1])
 	if err != nil {
 		return err
 	}
 	elemBytes := uint64(cuda4BitBytes(m.Elem))
-	buf := make([]byte, 4)
+	buf := w.membuf[:4]
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
 			continue
 		}
-		addrs := make([]uint64, len(m.Lanes[lane]))
+		addrs := w.laneAddrs(len(m.Lanes[lane]))
 		for slot, c := range m.Lanes[lane] {
 			off := memOffsetFor(m, c, int(stride))
 			addr := base + uint64(off)*elemBytes
 			addrs[slot] = addr
-			v := w.operand(lane, in.Src[2+slot])
+			v := w.operand(lane, &in.Src[2+slot])
 			for b := 0; b < int(elemBytes); b++ {
 				buf[b] = byte(v >> (8 * b))
 			}
 			w.Env.write(in.Space, addr, buf[:elemBytes])
 		}
 		sp, _ := w.Env.resolveSpace(in.Space, addrs[0])
-		res.Accesses = append(res.Accesses, fragAccesses(lane, addrs, m.Elem.Bits(), sp, true)...)
+		res.Accesses = fragAccesses(res.Accesses, lane, addrs, m.Elem.Bits(), sp, true)
 	}
 	return nil
 }
@@ -149,11 +156,11 @@ func (w *Warp) execWmmaMMA(in *Instr) error {
 	cfg := in.WConfig
 	nA := in.WMapA.FragmentLen()
 	nB := in.WMapB.FragmentLen()
-	aTile := w.gatherTile(in, in.WMapA, 0, cfg.AType)
-	bTile := w.gatherTile(in, in.WMapB, nA, cfg.AType)
-	cTile := w.gatherTile(in, in.WMap, nA+nB, cfg.CType)
-	d, err := wmma.MMA(cfg, aTile, bTile, cTile, tensor.RowMajor)
-	if err != nil {
+	aTile := w.gatherTile(in, in.WMapA, 0, cfg.AType, 0)
+	bTile := w.gatherTile(in, in.WMapB, nA, cfg.AType, 1)
+	cTile := w.gatherTile(in, in.WMap, nA+nB, cfg.CType, 2)
+	d := w.scratchTile(cfg.Shape.M, cfg.Shape.N, 3)
+	if err := wmma.MMAInto(cfg, aTile, bTile, cTile, d); err != nil {
 		return err
 	}
 	// Scatter D into the destination registers via the D mapping.
@@ -169,18 +176,37 @@ func (w *Warp) execWmmaMMA(in *Instr) error {
 	return nil
 }
 
+// scratchTile returns the warp's reusable slot-th tile matrix, reallocated
+// when the shape changes. Safe only when the caller overwrites every
+// element; a partially active warp falls back to a fresh zeroed matrix in
+// gatherTile.
+func (w *Warp) scratchTile(rows, cols, slot int) *tensor.Matrix {
+	t := w.tiles[slot]
+	if t == nil || t.Rows != rows || t.Cols != cols {
+		t = tensor.New(rows, cols, tensor.RowMajor)
+		w.tiles[slot] = t
+	}
+	return t
+}
+
 // gatherTile reconstructs an operand tile from fragment registers. For
 // Volta A/B every element exists in two lanes holding identical values;
-// either copy serves.
-func (w *Warp) gatherTile(in *Instr, m *wmma.Mapping, srcOff int, elem wmma.Precision) *tensor.Matrix {
+// either copy serves. A fully active warp covers every tile element, so
+// the reusable scratch tile needs no clearing between instructions.
+func (w *Warp) gatherTile(in *Instr, m *wmma.Mapping, srcOff int, elem wmma.Precision, slot int) *tensor.Matrix {
 	rows, cols := m.Shape.Dims(m.Op)
-	t := tensor.New(rows, cols, tensor.RowMajor)
+	var t *tensor.Matrix
+	if w.nLanes == 32 && in.Pred == nil {
+		t = w.scratchTile(rows, cols, slot)
+	} else {
+		t = tensor.New(rows, cols, tensor.RowMajor)
+	}
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
 			continue
 		}
 		for slot, c := range m.Lanes[lane] {
-			bits := w.operand(lane, in.Src[srcOff+slot])
+			bits := w.operand(lane, &in.Src[srcOff+slot])
 			t.Set(c.Row, c.Col, decodeElem(elem, bits))
 		}
 	}

@@ -66,14 +66,26 @@ func MMA(cfg Config, a, b, c *tensor.Matrix, outLayout tensor.Layout) (*tensor.M
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := cfg.Shape
-	d := tensor.New(s.M, s.N, outLayout)
+	d := tensor.New(cfg.Shape.M, cfg.Shape.N, outLayout)
+	if err := MMAInto(cfg, a, b, c, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MMAInto is MMA writing D into a caller-provided M×N matrix, which is
+// fully overwritten — the allocation-light path the instruction executor
+// runs once per dynamic wmma.mma.
+func MMAInto(cfg Config, a, b, c, d *tensor.Matrix) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if cfg.AType.IsInt() {
 		mmaInt(cfg, a, b, c, d)
-		return d, nil
+		return nil
 	}
 	mmaFloat(cfg, a, b, c, d)
-	return d, nil
+	return nil
 }
 
 // MustMMA is MMA but panics on configuration errors.
@@ -87,31 +99,30 @@ func MustMMA(cfg Config, a, b, c *tensor.Matrix, outLayout tensor.Layout) *tenso
 
 func mmaFloat(cfg Config, a, b, c, d *tensor.Matrix) {
 	s := cfg.Shape
-	// Quantize A and B columns/rows once.
-	av := make([][]fp16.Float16, s.M)
-	for i := range av {
-		av[i] = make([]fp16.Float16, s.K)
+	// Quantize A rows and B columns once, into two flat buffers.
+	flat := make([]fp16.Float16, (s.M+s.N)*s.K)
+	av, bv := flat[:s.M*s.K], flat[s.M*s.K:]
+	for i := 0; i < s.M; i++ {
 		for k := 0; k < s.K; k++ {
-			av[i][k] = fp16.FromFloat64(a.At(i, k))
+			av[i*s.K+k] = fp16.FromFloat64(a.At(i, k))
 		}
 	}
-	bv := make([][]fp16.Float16, s.N)
-	for j := range bv {
-		bv[j] = make([]fp16.Float16, s.K)
+	for j := 0; j < s.N; j++ {
 		for k := 0; k < s.K; k++ {
-			bv[j][k] = fp16.FromFloat64(b.At(k, j))
+			bv[j*s.K+k] = fp16.FromFloat64(b.At(k, j))
 		}
 	}
 	for i := 0; i < s.M; i++ {
 		for j := 0; j < s.N; j++ {
+			ar, bc := av[i*s.K:(i+1)*s.K], bv[j*s.K:(j+1)*s.K]
 			var out float64
 			if cfg.CType == F32 {
 				acc := float32(c.At(i, j))
-				acc = DotF32(acc, av[i], bv[j])
+				acc = DotF32(acc, ar, bc)
 				out = float64(acc)
 			} else {
 				acc := fp16.FromFloat64(c.At(i, j))
-				acc = DotF16(acc, av[i], bv[j])
+				acc = DotF16(acc, ar, bc)
 				out = acc.Float64()
 			}
 			if cfg.DType == F16 {

@@ -16,13 +16,25 @@
 //   - GEMM kernels and a CUTLASS-style generator (internal/kernels,
 //     internal/cutlass);
 //   - the experiment registry regenerating every paper table and figure
-//     (internal/experiments).
+//     (internal/experiments), backed by a parallel experiment engine
+//     that fans each experiment's independent data points across a
+//     worker pool (ExperimentOptions.Workers: 0 = one worker per CPU,
+//     1 = sequential; parallel runs emit byte-identical tables).
+//
+// The module path is "repro"; import this root package as:
+//
+//	import tcgpu "repro"
 //
 // Quick start:
 //
 //	dev := tcgpu.NewTitanV()
 //	res, err := tcgpu.RunGEMM(dev, tcgpu.GemmTensorMixed, 256, 256, 256)
 //	fmt.Printf("%.1f TFLOPS in %d cycles\n", res.TFLOPS, res.Stats.Cycles)
+//
+// Regenerating a paper artifact with the parallel engine:
+//
+//	tb, err := tcgpu.RunExperiment("fig14b", tcgpu.ExperimentOptions{Quick: true})
+//	fmt.Println(tb)
 package tcgpu
 
 import (
@@ -189,13 +201,29 @@ func DefaultTilePolicies() []TilePolicy { return cutlass.DefaultPolicies() }
 func Experiments() []Experiment { return experiments.All() }
 
 // RunExperiment regenerates one paper artifact by id (e.g. "fig9",
-// "tab1", "fig14b").
+// "tab1", "fig14b"). The experiment's independent data points fan out
+// across opt.Workers goroutines (0 = one per CPU); the table is identical
+// whatever the worker count.
 func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
 	e, err := experiments.ByID(id)
 	if err != nil {
 		return nil, err
 	}
 	return e.Run(opt)
+}
+
+// RunAllExperiments regenerates the full registry in paper order. Each
+// experiment runs its data points on the engine's worker pool.
+func RunAllExperiments(opt ExperimentOptions) ([]*ExperimentTable, error) {
+	var out []*ExperimentTable
+	for _, e := range experiments.All() {
+		tb, err := e.Run(opt)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, tb)
+	}
+	return out, nil
 }
 
 // NewMatrix returns a zeroed rows×cols row-major host matrix.
