@@ -229,6 +229,42 @@ func BenchmarkAblationHMMAII(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationDecodedALU quantifies the decoded-instruction cache:
+// the same SIMT GEMM (the fig17 bottleneck workload) with the table-driven
+// decoded dispatch versus the per-lane interpreted ALU path.
+func BenchmarkAblationDecodedALU(b *testing.B) {
+	for _, interp := range []bool{false, true} {
+		interp := interp
+		name := "decoded"
+		if interp {
+			name = "interpreted"
+		}
+		b.Run(name, func(b *testing.B) {
+			ptx.InterpretALU(interp)
+			defer ptx.InterpretALU(false)
+			for i := 0; i < b.N; i++ {
+				l, err := kernels.SGEMMSimt(128, 128, 128)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := gpu.TitanV()
+				cfg.NumSMs = 2
+				sim, err := gpu.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(gpu.LaunchSpec{
+					Kernel: l.Kernel, Grid: l.Grid, Block: l.Block,
+					Args:   []uint64{0, 1 << 20, 2 << 20, 3 << 20},
+					Global: ptx.NewFlatMemory(4 << 20),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationDoubleBuffer compares single- against double-buffered
 // shared-memory staging in the CUTLASS kernel — the software-pipelining
 // optimization the paper credits for cuBLAS beating plain WMMA code.

@@ -7,6 +7,14 @@
 //	experiments -run all -quick
 //	experiments -run fig17 -sms 16
 //	experiments -run all -workers 8
+//
+// -run all schedules every experiment on one shared worker pool (the
+// -workers budget is global across experiments) and streams each table to
+// stdout in registry order as soon as it completes. Tables are
+// byte-identical whatever the worker count; per-experiment timing and
+// errors go to stderr. A failing experiment no longer suppresses the
+// others: everything that succeeded still prints, and the command exits
+// non-zero with a failure summary at the end.
 package main
 
 import (
@@ -18,13 +26,39 @@ import (
 	"repro/internal/experiments"
 )
 
+// Flag bounds: values beyond these are almost certainly typos (the full
+// Titan V has 80 SMs) and would otherwise surface as panics or absurd
+// memory use deep inside gpu.New.
+const (
+	maxSMs     = 1024
+	maxWorkers = 4096
+)
+
+// validateFlags rejects out-of-range -sms/-workers values at the flag
+// boundary with a clear error instead of letting them misbehave deep in
+// the simulator.
+func validateFlags(sms, workers int) error {
+	if sms < 0 || sms > maxSMs {
+		return fmt.Errorf("experiments: -sms %d out of range (want 0 for the default, or 1..%d)", sms, maxSMs)
+	}
+	if workers < 0 || workers > maxWorkers {
+		return fmt.Errorf("experiments: -workers %d out of range (want 0 for one per CPU, or 1..%d)", workers, maxWorkers)
+	}
+	return nil
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "experiment id to run, or 'all'")
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	sms := flag.Int("sms", 0, "override simulated SM count (chip-slice scaling)")
-	workers := flag.Int("workers", 0, "worker pool size for an experiment's data points (0 = one per CPU, 1 = sequential)")
+	workers := flag.Int("workers", 0, "global worker-pool budget shared by all experiments' data points (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
+
+	if err := validateFlags(*sms, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -49,14 +83,25 @@ func main() {
 		}
 		todo = []experiments.Experiment{e}
 	}
-	for _, e := range todo {
-		start := time.Now()
-		tb, err := e.Run(opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+
+	// Stream each table in registry order as soon as it completes. Only
+	// tables go to stdout — timing and failures go to stderr — so stdout
+	// is byte-identical whatever the worker count.
+	results := experiments.RunAll(todo, opt, func(r experiments.Result) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Experiment.ID, r.Err)
+			return
 		}
-		fmt.Printf("# %s (%s) — completed in %v\n", e.Paper, e.ID, time.Since(start).Round(time.Millisecond))
-		fmt.Println(tb.String())
+		fmt.Printf("# %s (%s)\n", r.Experiment.Paper, r.Experiment.ID)
+		fmt.Println(r.Table.String())
+		fmt.Fprintf(os.Stderr, "%s completed in %v\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
+	})
+
+	if failed := experiments.Failures(results); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d experiments failed:\n", len(failed), len(results))
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "  %-8s %v\n", r.Experiment.ID, r.Err)
+		}
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// The -sms and -workers flags must be rejected at the flag boundary:
+// negative or absurd values used to panic or silently misbehave deep in
+// gpu.New.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		sms, workers int
+		ok           bool
+	}{
+		{0, 0, true},
+		{16, 4, true},
+		{maxSMs, maxWorkers, true},
+		{-1, 0, false},
+		{0, -1, false},
+		{maxSMs + 1, 0, false},
+		{0, maxWorkers + 1, false},
+		{-80, -80, false},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.sms, c.workers)
+		if (err == nil) != c.ok {
+			t.Errorf("validateFlags(%d, %d) = %v, want ok=%v", c.sms, c.workers, err, c.ok)
+		}
+	}
+}

@@ -40,6 +40,11 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for -sizes sweeps (0 = one per CPU)")
 	flag.Parse()
 
+	if err := validateFlags(*m, *n, *k, *sms, *workers, *scheduler); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	cfg := gpu.TitanV()
 	if *sms > 0 {
 		cfg.NumSMs = *sms
@@ -117,6 +122,39 @@ func main() {
 	}
 }
 
+// Flag bounds: dimensions beyond maxDim (the paper's largest sweep is
+// 16384) would allocate absurd operand matrices; SM counts beyond maxSMs
+// have no hardware analogue (the full Titan V has 80).
+const (
+	maxDim     = 1 << 17
+	maxSMs     = 1024
+	maxWorkers = 4096
+)
+
+// validateFlags rejects negative or absurd flag values at the boundary:
+// they used to panic in the kernel generators or be silently ignored
+// (a negative -sms ran the full 80-SM chip without saying so).
+func validateFlags(m, n, k, sms, workers int, scheduler string) error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{{"-m", m}, {"-n", n}, {"-k", k}} {
+		if d.v < 1 || d.v > maxDim {
+			return fmt.Errorf("tcsim: %s %d out of range (want 1..%d)", d.name, d.v, maxDim)
+		}
+	}
+	if sms < 0 || sms > maxSMs {
+		return fmt.Errorf("tcsim: -sms %d out of range (want 0 for the full chip, or 1..%d)", sms, maxSMs)
+	}
+	if workers < 0 || workers > maxWorkers {
+		return fmt.Errorf("tcsim: -workers %d out of range (want 0 for one per CPU, or 1..%d)", workers, maxWorkers)
+	}
+	if scheduler != "gto" && scheduler != "lrr" {
+		return fmt.Errorf("tcsim: unknown -scheduler %q (want gto or lrr)", scheduler)
+	}
+	return nil
+}
+
 // buildLaunch generates the requested kernel, returning the launch and
 // the operand/accumulator precisions.
 func buildLaunch(cfg gpu.Config, kernel, policy string, prec kernels.GemmPrecision, cd wmma.Precision,
@@ -158,8 +196,8 @@ func runSweep(cfg gpu.Config, kernel, policy string, fp16acc bool, sizesCSV stri
 	var sizes []int
 	for _, f := range strings.Split(sizesCSV, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v <= 0 {
-			return fmt.Errorf("bad -sizes entry %q", f)
+		if err != nil || v <= 0 || v > maxDim {
+			return fmt.Errorf("bad -sizes entry %q (want 1..%d)", f, maxDim)
 		}
 		sizes = append(sizes, v)
 	}
@@ -224,11 +262,21 @@ func runSweep(cfg gpu.Config, kernel, policy string, fp16acc bool, sizesCSV stri
 	fmt.Printf("kernel %s on %s (%d SMs, %d workers); sweeps are timing-only, no result verification\n",
 		kernel, cfg.Name, cfg.NumSMs, workers)
 	fmt.Printf("%-6s %12s %8s %10s %9s %8s\n", "size", "cycles", "ipc", "tflops", "l1hit", "dram")
+	// Print every completed point even when some failed; failures are
+	// summarized afterwards so one bad size cannot hide the others.
+	var failed []int
 	for i, line := range lines {
 		if errs[i] != nil {
-			return fmt.Errorf("size %d: %w", sizes[i], errs[i])
+			failed = append(failed, i)
+			continue
 		}
 		fmt.Println(line)
+	}
+	if len(failed) > 0 {
+		for _, i := range failed {
+			fmt.Fprintf(os.Stderr, "size %d: %v\n", sizes[i], errs[i])
+		}
+		return fmt.Errorf("%d of %d sweep points failed", len(failed), len(sizes))
 	}
 	return nil
 }

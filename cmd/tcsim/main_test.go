@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// Negative or absurd dimension/SM/worker flags must be rejected at the
+// flag boundary instead of panicking inside the kernel generators or
+// being silently ignored.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name         string
+		m, n, k      int
+		sms, workers int
+		scheduler    string
+		ok           bool
+	}{
+		{"defaults", 256, 256, 256, 0, 0, "gto", true},
+		{"lrr", 64, 64, 64, 16, 2, "lrr", true},
+		{"max bounds", maxDim, maxDim, maxDim, maxSMs, maxWorkers, "gto", true},
+		{"negative m", -64, 256, 256, 0, 0, "gto", false},
+		{"zero n", 256, 0, 256, 0, 0, "gto", false},
+		{"huge k", 256, 256, maxDim + 1, 0, 0, "gto", false},
+		{"negative sms", 256, 256, 256, -5, 0, "gto", false},
+		{"huge sms", 256, 256, 256, maxSMs + 1, 0, "gto", false},
+		{"negative workers", 256, 256, 256, 0, -1, "gto", false},
+		{"bad scheduler", 256, 256, 256, 0, 0, "fifo", false},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.m, c.n, c.k, c.sms, c.workers, c.scheduler)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: validateFlags = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

@@ -30,8 +30,14 @@ type Options struct {
 	// independent data points across CPUs: 0 uses one worker per CPU,
 	// 1 forces a sequential run. Parallel runs produce byte-identical
 	// tables to sequential ones — each point simulates on its own
-	// Simulator and results are assembled in point order.
+	// Simulator and results are assembled in point order. Under RunAll
+	// the same value is the global budget shared by every experiment.
 	Workers int
+
+	// pool, when set by RunAll, routes every data point of every
+	// experiment through one shared cross-experiment worker pool so the
+	// Workers budget is global rather than per experiment.
+	pool *sharedPool
 }
 
 // Table is one regenerated artifact.

@@ -9,8 +9,11 @@ import (
 
 // quickCache memoizes Quick-mode tables per test process: the artifacts
 // are deterministic, several tests assert different properties of the
-// same table, and the largest (fig17) takes seconds to simulate.
-// Worker-count independence is covered by TestParallelDeterminism.
+// same table, and the largest (fig17) takes seconds to simulate. The
+// fig17 grid in particular is simulated exactly once per process and
+// shared by TestAllExperimentsQuick, TestFig17Ordering and
+// TestDecodedMatchesInterpretedTables; TestParallelDeterminism and
+// TestRunAllDeterminism reuse the cache as their reference side too.
 var quickCache = struct {
 	sync.Mutex
 	m map[string]*Table

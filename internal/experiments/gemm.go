@@ -227,7 +227,13 @@ func Fig15(opt Options) (*Table, error) {
 		return nil, err
 	}
 	maxCTAs := cfg.NumSMs * 8
-	st, err := launchOn(cfg, l, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs, true)
+	// A single simulation, but still routed through forEach so RunAll's
+	// shared pool budget covers it like every other data point.
+	var st *gpu.Stats
+	err = forEach(opt, 1, func(int) error {
+		st, err = launchOn(cfg, l, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs, true)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,11 @@ import (
 // written into index-addressed slots and tables are assembled in index
 // order afterwards, which makes the parallel output byte-identical to a
 // sequential run regardless of completion order.
+//
+// The engine is two-level (see runall.go): RunAll fans the whole
+// registry's data points into one sharedPool bounded by Options.Workers,
+// while a single-experiment Run without a pool spins a private pool of
+// the same size. Either way fn(i) runs at most Workers at a time.
 
 // workers resolves the Options.Workers knob: 0 means one worker per CPU,
 // 1 forces the sequential path.
@@ -27,8 +33,13 @@ func (o Options) workers() int {
 // fn must confine its writes to the i-th slot of result slices sized
 // before the call. On error the pool stops handing out new indexes and
 // the lowest-indexed error is returned, matching what a sequential run
-// would surface.
+// would surface. When the options carry a shared cross-experiment pool,
+// the indexes are submitted there so the global worker budget bounds all
+// experiments together.
 func forEach(opt Options, n int, fn func(i int) error) error {
+	if opt.pool != nil {
+		return opt.pool.forEach(n, fn)
+	}
 	w := min(opt.workers(), n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
@@ -60,6 +71,84 @@ func forEach(opt Options, n int, fn func(i int) error) error {
 				}
 			}
 		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// callSafely invokes one data-point function, converting a panic into an
+// error.
+func callSafely(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: data point %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// sharedPool is the cross-experiment worker pool: a fixed set of workers
+// draining one job queue. Jobs are leaves — they never block on the pool
+// themselves — so a fixed worker count cannot deadlock, and the pool's
+// size is the global simulation-concurrency budget however many
+// experiments are in flight.
+type sharedPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// newSharedPool starts a pool of the given size.
+func newSharedPool(workers int) *sharedPool {
+	p := &sharedPool{jobs: make(chan func(), 4*workers)}
+	p.wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// close drains the pool and waits for its workers to exit.
+func (p *sharedPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// forEach submits n point jobs and waits for them. Error semantics match
+// the private-pool forEach: after the first failure remaining points of
+// this experiment no-op (other experiments sharing the pool are
+// unaffected), and the lowest-indexed error is returned.
+func (p *sharedPool) forEach(n int, fn func(i int) error) error {
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+		errs   = make([]error, n)
+	)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.jobs <- func() {
+			defer wg.Done()
+			if failed.Load() {
+				return
+			}
+			// A panicking point must not take down the shared workers the
+			// other experiments depend on; surface it as this experiment's
+			// error instead.
+			if err := callSafely(fn, i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}
 	}
 	wg.Wait()
 	for _, err := range errs {

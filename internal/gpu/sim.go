@@ -209,7 +209,7 @@ func (s *Simulator) Run(spec LaunchSpec) (*Stats, error) {
 			// Skipping it here is what turns stall periods into a single
 			// clock jump instead of per-cycle scheduler scans.
 			if m.nextWake <= s.cycle {
-				iss, _, wake, err := m.step(st)
+				iss, wake, err := m.step(st)
 				if err != nil {
 					return nil, err
 				}
@@ -335,10 +335,9 @@ func (d *dispatcher) fillOne(m *sm) (bool, error) {
 }
 
 // step advances one SM by one cycle: each sub-core scheduler issues at
-// most one warp instruction. Returns whether anything issued, whether any
-// warp is still live, and the earliest cycle at which a currently stalled
-// warp could issue.
-func (m *sm) step(st *Stats) (issued, live bool, wake uint64, err error) {
+// most one warp instruction. Returns whether anything issued and the
+// earliest cycle at which a currently stalled warp could issue.
+func (m *sm) step(st *Stats) (issued bool, wake uint64, err error) {
 	wake = math.MaxUint64
 	now := m.sim.cycle
 	m.releaseWake = math.MaxUint64
@@ -349,15 +348,14 @@ func (m *sm) step(st *Stats) (issued, live bool, wake uint64, err error) {
 			// none of that can change before nextWake except through a
 			// barrier release (handled below via pendingWake) or a CTA
 			// dispatch (which resets the wake).
-			live = live || len(sc.warps) > 0
 			if sc.nextWake < wake {
 				wake = sc.nextWake
 			}
 			continue
 		}
-		iss, lv, wk, e := m.stepSubcore(sc, now, st)
+		iss, wk, e := m.stepSubcore(sc, now, st)
 		if e != nil {
-			return false, false, 0, e
+			return false, 0, e
 		}
 		if iss {
 			sc.nextWake = now + 1
@@ -371,7 +369,6 @@ func (m *sm) step(st *Stats) (issued, live bool, wake uint64, err error) {
 		}
 		sc.pendingWake = math.MaxUint64
 		issued = issued || iss
-		live = live || lv
 		if sc.nextWake < wake {
 			wake = sc.nextWake
 		}
@@ -396,7 +393,7 @@ func (m *sm) step(st *Stats) (issued, live bool, wake uint64, err error) {
 		}
 	}
 	m.ctas = kept
-	return issued, live, wake, nil
+	return issued, wake, nil
 }
 
 func (sc *subcore) removeFinished() {
@@ -412,81 +409,65 @@ func (sc *subcore) removeFinished() {
 	}
 }
 
-// candidateOrder yields scheduler-ordered warp indexes.
-func (sc *subcore) candidateOrder(policy SchedulerPolicy, buf []int) []int {
+// candidateOrder yields the loose-round-robin warp order: one past the
+// last issuer, wrapping. (GTO never reaches here — stepSubcore's fast
+// path handles its greedy-then-oldest selection inline.)
+func (sc *subcore) candidateOrder(buf []int) []int {
 	n := len(sc.warps)
 	buf = buf[:0]
 	if n == 0 {
 		return buf
 	}
-	start := sc.greedy
-	if policy == LRR {
-		start = (sc.greedy + 1) % n
-	}
+	idx := (sc.greedy + 1) % n
 	for i := 0; i < n; i++ {
-		buf = append(buf, (start+i)%n)
-	}
-	if policy == GTO && n > 2 {
-		sortByLastIssue(sc, buf[1:])
+		buf = append(buf, idx)
+		if idx++; idx >= n {
+			idx = 0
+		}
 	}
 	return buf
-}
-
-// sortByLastIssue orders warp indexes oldest (least recently issued)
-// first: simple selection sort, stable on ties.
-func sortByLastIssue(sc *subcore, rest []int) {
-	for i := 0; i < len(rest); i++ {
-		best := i
-		for j := i + 1; j < len(rest); j++ {
-			if sc.warps[rest[j]].lastIssue < sc.warps[rest[best]].lastIssue {
-				best = j
-			}
-		}
-		rest[i], rest[best] = rest[best], rest[i]
-	}
 }
 
 // tryWarp attempts to issue warp idx of the sub-core. outcome is one of:
 // issued (an instruction went out), or blocked with wake holding the
 // earliest cycle the warp could become issuable (MaxUint64 when it has
 // none, e.g. finished or waiting at a barrier).
-func (m *sm) tryWarp(sc *subcore, idx int, now uint64, st *Stats) (issued, lv bool, wake uint64, err error) {
+func (m *sm) tryWarp(sc *subcore, idx int, now uint64, st *Stats) (issued bool, wake uint64, err error) {
 	wake = math.MaxUint64
 	w := sc.warps[idx]
 	if w.finished {
-		return false, false, wake, nil
+		return false, wake, nil
 	}
-	lv = true
 	if w.barrier {
-		return false, lv, wake, nil
+		return false, wake, nil
 	}
 	if w.stallUntil > now {
-		return false, lv, w.stallUntil, nil
+		return false, w.stallUntil, nil
 	}
-	in := w.warp.Peek()
+	in := w.warp.PeekD()
 	if in == nil {
 		m.finishWarp(w, now)
-		return false, lv, wake, nil
+		return false, wake, nil
 	}
 	if ready, at := w.operandsReady(in, now); !ready {
 		w.stallUntil = at
-		return false, lv, at, nil
+		return false, at, nil
 	}
 	if free, at := m.unitFree(sc, in, now); !free {
-		return false, lv, at, nil
+		return false, at, nil
 	}
 	if err := m.issue(sc, w, in, now, st); err != nil {
-		return false, lv, wake, err
+		return false, wake, err
 	}
 	sc.greedy = idx
-	return true, lv, wake, nil
+	return true, wake, nil
 }
 
-func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued, live bool, wake uint64, err error) {
+func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued bool, wake uint64, err error) {
 	wake = math.MaxUint64
 	n := len(sc.warps)
 	if n == 0 {
-		return false, false, wake, nil
+		return false, wake, nil
 	}
 	if m.sim.cfg.Scheduler == GTO {
 		// Greedy-then-oldest: the greedy warp issues back to back in the
@@ -495,33 +476,33 @@ func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued, live bool,
 		if sc.greedy >= n {
 			sc.greedy = 0
 		}
-		iss, lv, wk, e := m.tryWarp(sc, sc.greedy, now, st)
-		live = lv
+		iss, wk, e := m.tryWarp(sc, sc.greedy, now, st)
 		if wk < wake {
 			wake = wk
 		}
 		if e != nil || iss {
-			return iss, live, wake, e
+			return iss, wake, e
 		}
 		// Cheap screen of the remaining warps, fused with building the
 		// candidate list: warps that are finished, at a barrier, or
-		// stalled cannot issue this cycle, and their bookkeeping (live,
-		// wake) does not depend on candidate order. The sorted scan is
-		// only worth paying when at least one warp survives the screen —
+		// stalled cannot issue this cycle, and their wake bookkeeping
+		// does not depend on candidate order. The sorted scan is only
+		// worth paying when at least one warp survives the screen —
 		// during stall periods (the common case on memory-bound phases)
 		// this skips the selection entirely.
 		anyReady := false
 		var order [64]int
 		rest := order[:0]
+		idx := sc.greedy
 		for i := 1; i < n; i++ {
-			idx := (sc.greedy + i) % n
+			// Increment-and-wrap instead of modulo: this scan runs per
+			// sub-core per cycle and the divide dominated its cost.
+			if idx++; idx >= n {
+				idx = 0
+			}
 			rest = append(rest, idx)
 			w := sc.warps[idx]
-			if w.finished {
-				continue
-			}
-			live = true
-			if w.barrier {
+			if w.finished || w.barrier {
 				continue
 			}
 			if w.stallUntil > now {
@@ -533,7 +514,7 @@ func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued, live bool,
 			anyReady = true
 		}
 		if !anyReady {
-			return false, live, wake, nil
+			return false, wake, nil
 		}
 		// Incremental selection: extract the least-recently-issued
 		// candidate one step at a time — the same sequence a full
@@ -550,29 +531,27 @@ func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued, live bool,
 				}
 				rest[i], rest[best] = rest[best], rest[i]
 			}
-			iss, lv, wk, e := m.tryWarp(sc, rest[i], now, st)
-			live = live || lv
+			iss, wk, e := m.tryWarp(sc, rest[i], now, st)
 			if wk < wake {
 				wake = wk
 			}
 			if e != nil || iss {
-				return iss, live, wake, e
+				return iss, wake, e
 			}
 		}
-		return false, live, wake, nil
+		return false, wake, nil
 	}
 	var order [64]int
-	for _, idx := range sc.candidateOrder(m.sim.cfg.Scheduler, order[:0]) {
-		iss, lv, wk, e := m.tryWarp(sc, idx, now, st)
-		live = live || lv
+	for _, idx := range sc.candidateOrder(order[:0]) {
+		iss, wk, e := m.tryWarp(sc, idx, now, st)
 		if wk < wake {
 			wake = wk
 		}
 		if e != nil || iss {
-			return iss, live, wake, e
+			return iss, wake, e
 		}
 	}
-	return false, live, wake, nil
+	return false, wake, nil
 }
 
 func (m *sm) finishWarp(w *simWarp, now uint64) {
@@ -581,8 +560,9 @@ func (m *sm) finishWarp(w *simWarp, now uint64) {
 	m.maybeReleaseBarrier(w.cta, now)
 }
 
-// operandsReady checks the scoreboard for RAW and WAW hazards.
-func (w *simWarp) operandsReady(in *ptx.Instr, now uint64) (bool, uint64) {
+// operandsReady checks the scoreboard for RAW and WAW hazards, on the
+// decoded instruction's precomputed register list.
+func (w *simWarp) operandsReady(in *ptx.DInstr, now uint64) (bool, uint64) {
 	latest := uint64(0)
 	for _, id := range in.ScoreboardRegs() {
 		if t := w.regReady[id]; t > latest {
@@ -595,30 +575,31 @@ func (w *simWarp) operandsReady(in *ptx.Instr, now uint64) (bool, uint64) {
 	return true, now
 }
 
-// unitFree checks structural availability of the instruction's unit.
-func (m *sm) unitFree(sc *subcore, in *ptx.Instr, now uint64) (bool, uint64) {
-	switch in.Op {
-	case ptx.OpWmmaMMA:
+// unitFree checks structural availability of the instruction's unit,
+// dispatching on the decoded execution class.
+func (m *sm) unitFree(sc *subcore, in *ptx.DInstr, now uint64) (bool, uint64) {
+	switch in.Class {
+	case ptx.DClassWmmaMMA:
 		if sc.tcFree > now {
 			return false, sc.tcFree
 		}
-	case ptx.OpDiv, ptx.OpRem:
+	case ptx.DClassSFU:
 		if sc.sfuFree > now {
 			return false, sc.sfuFree
 		}
-	case ptx.OpLd, ptx.OpSt, ptx.OpWmmaLoad, ptx.OpWmmaStore, ptx.OpBar, ptx.OpBra, ptx.OpExit:
-		// LSU queueing is modeled inside mem.SMPort; control ops always
-		// accept.
-	default:
+	case ptx.DClassALU:
 		if sc.aluFree > now {
 			return false, sc.aluFree
 		}
+	default:
+		// LSU queueing is modeled inside mem.SMPort; control ops always
+		// accept.
 	}
 	return true, now
 }
 
 // issue executes the instruction functionally and charges its timing.
-func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.Instr, now uint64, st *Stats) error {
+func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.DInstr, now uint64, st *Stats) error {
 	cfg := m.sim.cfg
 	res, err := w.warp.Step()
 	if err != nil {
@@ -629,39 +610,39 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.Instr, now uint64, st *Stats
 	w.lastIssue = now
 
 	done := now + uint64(cfg.IssueLatency)
-	switch in.Op {
-	case ptx.OpBra:
+	switch in.Class {
+	case ptx.DClassBra:
 		done += 1
-	case ptx.OpExit:
+	case ptx.DClassExit:
 		m.finishWarp(w, now)
 		return nil
-	case ptx.OpBar:
+	case ptx.DClassBar:
 		w.barrier = true
 		w.cta.atBarrier++
 		m.maybeReleaseBarrier(w.cta, now)
 		return nil
-	case ptx.OpDiv, ptx.OpRem:
+	case ptx.DClassSFU:
 		sc.sfuFree = now + uint64(cfg.SFUII)
 		done += uint64(cfg.SFULatency)
-	case ptx.OpLd, ptx.OpSt:
+	case ptx.DClassLd, ptx.DClassSt:
 		done = m.accessMemory(res, now) + uint64(cfg.IssueLatency)
-	case ptx.OpWmmaLoad, ptx.OpWmmaStore:
+	case ptx.DClassWmmaLoad, ptx.DClassWmmaStore:
 		done = m.accessMemory(res, now) + uint64(cfg.IssueLatency+cfg.WmmaMemOverhead)
 		if st.Trace != nil {
 			lat := float64(done - now)
-			if in.Op == ptx.OpWmmaLoad {
+			if in.Class == ptx.DClassWmmaLoad {
 				st.Trace.WmmaLoad = append(st.Trace.WmmaLoad, lat)
 			} else {
 				st.Trace.WmmaStore = append(st.Trace.WmmaStore, lat)
 			}
 		}
-	case ptx.OpWmmaMMA:
+	case ptx.DClassWmmaMMA:
 		st.TensorOps++
-		timing, err := cfg.tensorTiming(in.WConfig)
+		timing, err := cfg.tensorTiming(in.In.WConfig)
 		if err != nil {
 			return err
 		}
-		sc.tcFree = now + cfg.tensorOccupancy(in.WConfig)
+		sc.tcFree = now + cfg.tensorOccupancy(in.In.WConfig)
 		done = now + uint64(timing.Total())
 		if st.Trace != nil {
 			st.Trace.WmmaMMA = append(st.Trace.WmmaMMA, float64(done-now))
@@ -671,8 +652,8 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.Instr, now uint64, st *Stats
 		done += uint64(cfg.ALULatency)
 	}
 
-	for _, r := range in.Dst {
-		w.regReady[r.ID] = done
+	for _, id := range in.DstRegs() {
+		w.regReady[id] = done
 	}
 	// The next instruction of this warp issues no earlier than next cycle.
 	if w.stallUntil <= now {

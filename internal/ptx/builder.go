@@ -280,11 +280,9 @@ func (b *Builder) Build() (*Kernel, error) {
 		}
 	}
 	k := b.k
-	for i := range k.Instrs {
-		in := &k.Instrs[i]
-		in.sbRegs = appendScoreboardRegs(nil, in)
-		in.sbCached = true
-	}
+	// Decode once per kernel: every warp of every launch shares this
+	// read-only program instead of re-classifying operands per execution.
+	k.prog = decodeKernel(&k)
 	return &k, nil
 }
 

@@ -112,6 +112,9 @@ type Warp struct {
 	Active    [32]bool
 	nLanes    int
 	regs      []uint64 // [lane*NumRegs + reg]
+	// prog is the kernel's decoded-instruction cache (shared across all
+	// warps of the kernel; see decode.go).
+	prog []DInstr
 
 	// Scratch buffers reused across Step calls so the hot execution path
 	// stays allocation-free: a staging buffer for loads/stores, the
@@ -134,6 +137,12 @@ func NewWarp(k *Kernel, env *Env, id int, args []uint64) (*Warp, error) {
 		return nil, fmt.Errorf("ptx: kernel %s takes %d args, got %d", k.Name, len(k.Params), len(args))
 	}
 	w := &Warp{Kernel: k, Env: env, ID: id}
+	w.prog = k.prog
+	if w.prog == nil {
+		// Hand-assembled kernels (no Builder.Build pass) decode a private
+		// program; built kernels share the per-kernel cache.
+		w.prog = decodeKernel(k)
+	}
 	w.regs = make([]uint64, 32*k.NumRegs)
 	nThreads := env.BlockDim.Count()
 	for lane := 0; lane < 32; lane++ {
@@ -234,10 +243,21 @@ func (w *Warp) laneEnabled(lane int, in *Instr) bool {
 // Peek returns the instruction the warp will execute next, or nil if the
 // warp has exited.
 func (w *Warp) Peek() *Instr {
-	if w.Exited || w.PC >= len(w.Kernel.Instrs) {
+	if d := w.PeekD(); d != nil {
+		return d.In
+	}
+	return nil
+}
+
+// PeekD returns the decoded form of the instruction the warp will execute
+// next, or nil if the warp has exited. The timing model schedules on the
+// decoded form (unit class, precomputed scoreboard registers) instead of
+// re-classifying the Instr every cycle.
+func (w *Warp) PeekD() *DInstr {
+	if w.Exited || w.PC >= len(w.prog) {
 		return nil
 	}
-	return &w.Kernel.Instrs[w.PC]
+	return &w.prog[w.PC]
 }
 
 // Step executes the next instruction and advances the PC. Branches must be
@@ -252,238 +272,89 @@ func (w *Warp) Step() (Result, error) {
 }
 
 func (w *Warp) step() (Result, error) {
-	in := w.Peek()
-	if in == nil {
+	d := w.PeekD()
+	if d == nil {
 		w.Exited = true
 		return Result{Exited: true}, nil
 	}
+	in := d.In
 	res := Result{Instr: in, Accesses: w.accBuf[:0]}
 
-	switch in.Op {
-	case OpBra:
-		taken, uniform := w.branchVote(in)
+	switch d.Class {
+	case DClassBra:
+		taken, uniform := w.branchVote(d)
 		if !uniform {
 			return res, fmt.Errorf("ptx: divergent branch at %d in %s", w.PC, w.Kernel.Name)
 		}
 		if taken {
-			t, err := w.Kernel.TargetIndex(in.Target)
-			if err != nil {
+			if d.target < 0 {
+				_, err := w.Kernel.TargetIndex(in.Target)
 				return res, err
 			}
-			w.PC = t
+			w.PC = int(d.target)
 			return res, nil
 		}
 		w.PC++
 		return res, nil
-	case OpExit:
+	case DClassExit:
 		w.Exited = true
 		res.Exited = true
 		return res, nil
-	case OpBar:
+	case DClassBar:
 		w.AtBarrier = true
 		res.Barrier = true
 		w.PC++
 		return res, nil
-	case OpWmmaLoad:
-		if err := w.execWmmaLoad(in, &res); err != nil {
+	case DClassWmmaLoad:
+		if err := w.execWmmaLoad(d, &res); err != nil {
 			return res, err
 		}
 		w.PC++
 		return res, nil
-	case OpWmmaStore:
-		if err := w.execWmmaStore(in, &res); err != nil {
+	case DClassWmmaStore:
+		if err := w.execWmmaStore(d, &res); err != nil {
 			return res, err
 		}
 		w.PC++
 		return res, nil
-	case OpWmmaMMA:
-		if err := w.execWmmaMMA(in); err != nil {
+	case DClassWmmaMMA:
+		if err := w.execWmmaMMA(d); err != nil {
 			return res, err
 		}
 		w.PC++
 		return res, nil
-	case OpLd:
-		w.execLoad(in, &res)
+	case DClassLd:
+		w.execLoad(d, &res)
 		w.PC++
 		return res, nil
-	case OpSt:
-		w.execStore(in, &res)
+	case DClassSt:
+		w.execStore(d, &res)
 		w.PC++
 		return res, nil
 	}
 
-	if err := w.execALUWarp(in); err != nil {
+	// ALU and SFU classes: direct table-driven dispatch on the decoded
+	// kind; aluGeneric is the per-lane interpreted fallback.
+	if err := aluTable[d.alu](w, d); err != nil {
 		return res, err
 	}
 	w.PC++
 	return res, nil
 }
 
-// execALUWarp executes one warp-wide ALU instruction. The opcode/type
-// dispatch is hoisted out of the 32-lane loop for the operations that
-// dominate the generated GEMM kernels (mad and the basic arithmetic);
-// everything else falls back to the per-lane path.
-func (w *Warp) execALUWarp(in *Instr) error {
-	switch in.Op {
-	case OpMad:
-		if w.lanesMad(in) {
-			return nil
-		}
-	case OpAdd, OpSub, OpMul:
-		if w.lanesArith(in) {
-			return nil
-		}
-	}
-	for lane := 0; lane < 32; lane++ {
-		if !w.laneEnabled(lane, in) {
-			continue
-		}
-		if err := w.execALU(lane, in); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// lanesMad is the hoisted mad loop for the types the kernels use; it
-// returns false to fall back to the generic per-lane path. The math
-// replicates mad exactly.
-func (w *Warp) lanesMad(in *Instr) bool {
-	nr := w.Kernel.NumRegs
-	a, b, c := &in.Src[0], &in.Src[1], &in.Src[2]
-	d := in.Dst[0].ID
-	switch in.Type {
-	case U32:
-		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-			if !w.laneEnabled(lane, in) {
-				continue
-			}
-			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
-			w.regs[base+d] = (av*bv + cv) & 0xffffffff
-		}
-	case S32:
-		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-			if !w.laneEnabled(lane, in) {
-				continue
-			}
-			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
-			w.regs[base+d] = uint64(uint32(int32(uint32(av))*int32(uint32(bv)) + int32(uint32(cv))))
-		}
-	case U64:
-		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-			if !w.laneEnabled(lane, in) {
-				continue
-			}
-			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
-			w.regs[base+d] = av*bv + cv
-		}
-	case F32:
-		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-			if !w.laneEnabled(lane, in) {
-				continue
-			}
-			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
-			w.regs[base+d] = bitsF32(float32(math.FMA(float64(f32bits(av)), float64(f32bits(bv)), float64(f32bits(cv)))))
-		}
-	case F16X2:
-		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-			if !w.laneEnabled(lane, in) {
-				continue
-			}
-			av, bv, cv := w.srcVal(base, lane, a), w.srcVal(base, lane, b), w.srcVal(base, lane, c)
-			lo := bitsH16(fp16.FMA(h16(av&0xffff), h16(bv&0xffff), h16(cv&0xffff)))
-			hi := bitsH16(fp16.FMA(h16(av>>16&0xffff), h16(bv>>16&0xffff), h16(cv>>16&0xffff)))
-			w.regs[base+d] = hi<<16 | lo
-		}
-	default:
-		return false
-	}
-	return true
-}
-
-// lanesArith is the hoisted add/sub/mul loop for the common types; it
-// returns false to fall back. The math replicates arith exactly.
-func (w *Warp) lanesArith(in *Instr) bool {
-	nr := w.Kernel.NumRegs
-	a, b := &in.Src[0], &in.Src[1]
-	d := in.Dst[0].ID
-	op := in.Op
-	switch in.Type {
-	case U32, U64:
-		mask := uint64(0xffffffff)
-		if in.Type == U64 {
-			mask = ^uint64(0)
-		}
-		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-			if !w.laneEnabled(lane, in) {
-				continue
-			}
-			x, y := w.srcVal(base, lane, a)&mask, w.srcVal(base, lane, b)&mask
-			var v uint64
-			switch op {
-			case OpAdd:
-				v = x + y
-			case OpSub:
-				v = x - y
-			default:
-				v = x * y
-			}
-			w.regs[base+d] = v & mask
-		}
-	case S32:
-		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-			if !w.laneEnabled(lane, in) {
-				continue
-			}
-			x, y := int32(uint32(w.srcVal(base, lane, a))), int32(uint32(w.srcVal(base, lane, b)))
-			var v int32
-			switch op {
-			case OpAdd:
-				v = x + y
-			case OpSub:
-				v = x - y
-			default:
-				v = x * y
-			}
-			w.regs[base+d] = uint64(uint32(v))
-		}
-	case F32:
-		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-			if !w.laneEnabled(lane, in) {
-				continue
-			}
-			x, y := f32bits(w.srcVal(base, lane, a)), f32bits(w.srcVal(base, lane, b))
-			var v float32
-			switch op {
-			case OpAdd:
-				v = x + y
-			case OpSub:
-				v = x - y
-			default:
-				v = x * y
-			}
-			w.regs[base+d] = bitsF32(v)
-		}
-	default:
-		return false
-	}
-	return true
-}
-
 // branchVote evaluates the branch guard across enabled lanes.
-func (w *Warp) branchVote(in *Instr) (taken, uniform bool) {
-	if in.Pred == nil {
+func (w *Warp) branchVote(d *DInstr) (taken, uniform bool) {
+	if d.predID < 0 {
 		return true, true
 	}
+	nr := w.Kernel.NumRegs
+	pid := int(d.predID)
 	first := true
-	for lane := 0; lane < 32; lane++ {
+	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
 		if !w.Active[lane] {
 			continue
 		}
-		p := w.reg(lane, *in.Pred) != 0
-		if in.PNeg {
-			p = !p
-		}
+		p := (w.regs[base+pid] != 0) != d.pneg
 		if first {
 			taken, first = p, false
 			continue
@@ -495,54 +366,66 @@ func (w *Warp) branchVote(in *Instr) (taken, uniform bool) {
 	return taken, true
 }
 
-func (w *Warp) execLoad(in *Instr, res *Result) {
-	words := in.Width / 32
-	if words == 0 {
-		words = 1
-	}
-	buf := w.membuf[:in.Width/8]
-	for lane := 0; lane < 32; lane++ {
-		if !w.laneEnabled(lane, in) {
+func (w *Warp) execLoad(d *DInstr, res *Result) {
+	in := d.In
+	words := int(d.words)
+	nbytes := uint64(d.membytes)
+	buf := w.membuf[:nbytes]
+	nr := w.Kernel.NumRegs
+	addr0 := &d.srcs[0]
+	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+		if !d.laneOn(w, base, lane) {
 			continue
 		}
-		addr := w.operand(lane, &in.Src[0])
+		addr := d.val(w, base, lane, addr0)
+		// Resolve the space once and dispatch directly instead of going
+		// through Env.read (which would re-resolve per lane).
 		sp, a := w.Env.resolveSpace(in.Space, addr)
 		res.Accesses = append(res.Accesses, Access{Lane: lane, Addr: a, Bits: in.Width, Space: sp})
-		w.Env.read(in.Space, addr, buf)
+		if sp == Shared {
+			copy(buf, w.Env.Shared[a:a+nbytes])
+		} else {
+			w.Env.Global.Read(a, buf)
+		}
 		if in.Width == 16 {
-			w.setReg(lane, in.Dst[0], uint64(buf[0])|uint64(buf[1])<<8)
+			w.regs[base+int(d.dsts[0])] = uint64(buf[0]) | uint64(buf[1])<<8
 			continue
 		}
 		for i := 0; i < words; i++ {
 			v := uint64(buf[4*i]) | uint64(buf[4*i+1])<<8 | uint64(buf[4*i+2])<<16 | uint64(buf[4*i+3])<<24
-			w.setReg(lane, in.Dst[i], v)
+			w.regs[base+int(d.dsts[i])] = v
 		}
 	}
 }
 
-func (w *Warp) execStore(in *Instr, res *Result) {
-	words := in.Width / 32
-	if words == 0 {
-		words = 1
-	}
-	buf := w.membuf[:in.Width/8]
-	for lane := 0; lane < 32; lane++ {
-		if !w.laneEnabled(lane, in) {
+func (w *Warp) execStore(d *DInstr, res *Result) {
+	in := d.In
+	words := int(d.words)
+	nbytes := uint64(d.membytes)
+	buf := w.membuf[:nbytes]
+	nr := w.Kernel.NumRegs
+	addr0 := &d.srcs[0]
+	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+		if !d.laneOn(w, base, lane) {
 			continue
 		}
-		addr := w.operand(lane, &in.Src[0])
+		addr := d.val(w, base, lane, addr0)
 		sp, a := w.Env.resolveSpace(in.Space, addr)
 		res.Accesses = append(res.Accesses, Access{Lane: lane, Addr: a, Bits: in.Width, Space: sp, Store: true})
 		if in.Width == 16 {
-			v := w.operand(lane, &in.Src[1])
+			v := d.val(w, base, lane, &d.srcs[1])
 			buf[0], buf[1] = byte(v), byte(v>>8)
 		} else {
 			for i := 0; i < words; i++ {
-				v := w.operand(lane, &in.Src[1+i])
+				v := d.val(w, base, lane, &d.srcs[1+i])
 				buf[4*i], buf[4*i+1], buf[4*i+2], buf[4*i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 			}
 		}
-		w.Env.write(in.Space, addr, buf)
+		if sp == Shared {
+			copy(w.Env.Shared[a:a+nbytes], buf)
+		} else {
+			w.Env.Global.Write(a, buf)
+		}
 	}
 }
 

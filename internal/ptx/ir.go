@@ -243,26 +243,13 @@ type Instr struct {
 
 	Target  string // branch target label
 	Comment string
-
-	// sbRegs caches the deduplicated scoreboard registers (register
-	// sources, destinations and the guard predicate) the timing model
-	// checks before issue; Builder.Build precomputes it so the per-cycle
-	// hazard check walks a flat list instead of re-classifying operands.
-	sbRegs   []int32
-	sbCached bool
 }
 
-// ScoreboardRegs returns the deduplicated register IDs this instruction
-// reads or writes, for RAW/WAW hazard checks. Kernels built through
-// Builder.Build (and therefore Parse) have it precomputed; hand-assembled
-// Instr values fall back to computing it on the fly.
-func (in *Instr) ScoreboardRegs() []int32 {
-	if in.sbCached {
-		return in.sbRegs
-	}
-	return appendScoreboardRegs(nil, in)
-}
-
+// appendScoreboardRegs collects the deduplicated register IDs an
+// instruction reads or writes (register sources, destinations and the
+// guard predicate), for RAW/WAW hazard checks. It runs once per static
+// instruction, at decode time; the timing model reads the cached copy
+// through DInstr.ScoreboardRegs.
 func appendScoreboardRegs(ids []int32, in *Instr) []int32 {
 	add := func(id int) {
 		for _, x := range ids {
@@ -298,7 +285,17 @@ type Kernel struct {
 	Labels      map[string]int
 	NumRegs     int
 	SharedBytes int // static .shared allocation per CTA
+
+	// prog is the kernel's decoded-instruction cache (see decode.go):
+	// one decode per kernel, shared read-only by every warp of every
+	// launch. Builder.Build populates it; hand-assembled kernels decode
+	// privately per warp in NewWarp.
+	prog []DInstr
 }
+
+// Program returns the kernel's decoded instruction cache, or nil for
+// hand-assembled kernels that skipped Builder.Build.
+func (k *Kernel) Program() []DInstr { return k.prog }
 
 // Param is one kernel parameter.
 type Param struct {

@@ -14,22 +14,25 @@ import (
 // operand tiles from the fragments, computes D = A×B + C with the tensor
 // core arithmetic of internal/wmma, and scatters D back into registers.
 
-// uniformOperand reads an operand that must hold the same value in every
-// enabled lane (wmma base addresses and strides are warp-level values).
-func (w *Warp) uniformOperand(in *Instr, o *Operand) (uint64, error) {
+// uniformOperand reads the i-th decoded source operand, which must hold
+// the same value in every enabled lane (wmma base addresses and strides
+// are warp-level values).
+func (w *Warp) uniformOperand(d *DInstr, i int) (uint64, error) {
+	o := &d.srcs[i]
 	var v uint64
+	nr := w.Kernel.NumRegs
 	first := true
-	for lane := 0; lane < 32; lane++ {
-		if !w.laneEnabled(lane, in) {
+	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+		if !d.laneOn(w, base, lane) {
 			continue
 		}
-		lv := w.operand(lane, o)
+		lv := d.val(w, base, lane, o)
 		if first {
 			v, first = lv, false
 			continue
 		}
 		if lv != v {
-			return 0, fmt.Errorf("ptx: wmma operand %v not warp-uniform", o)
+			return 0, fmt.Errorf("ptx: wmma operand %v not warp-uniform", d.In.Src[i])
 		}
 	}
 	if first {
@@ -72,17 +75,18 @@ func (w *Warp) laneAddrs(n int) []uint64 {
 	return w.addrBuf[:n]
 }
 
-func (w *Warp) execWmmaLoad(in *Instr, res *Result) error {
+func (w *Warp) execWmmaLoad(d *DInstr, res *Result) error {
+	in := d.In
 	m := in.WMap
-	base, err := w.uniformOperand(in, &in.Src[0])
+	base, err := w.uniformOperand(d, 0)
 	if err != nil {
 		return err
 	}
-	stride, err := w.uniformOperand(in, &in.Src[1])
+	stride, err := w.uniformOperand(d, 1)
 	if err != nil {
 		return err
 	}
-	elemBytes := uint64(cuda4BitBytes(m.Elem))
+	elemBytes := uint64(d.membytes)
 	buf := w.membuf[:4]
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
@@ -110,17 +114,18 @@ func (w *Warp) execWmmaLoad(in *Instr, res *Result) error {
 	return nil
 }
 
-func (w *Warp) execWmmaStore(in *Instr, res *Result) error {
+func (w *Warp) execWmmaStore(d *DInstr, res *Result) error {
+	in := d.In
 	m := in.WMap
-	base, err := w.uniformOperand(in, &in.Src[0])
+	base, err := w.uniformOperand(d, 0)
 	if err != nil {
 		return err
 	}
-	stride, err := w.uniformOperand(in, &in.Src[1])
+	stride, err := w.uniformOperand(d, 1)
 	if err != nil {
 		return err
 	}
-	elemBytes := uint64(cuda4BitBytes(m.Elem))
+	elemBytes := uint64(d.membytes)
 	buf := w.membuf[:4]
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
@@ -152,15 +157,16 @@ func memOffsetFor(m *wmma.Mapping, c wmma.Coord, ld int) int {
 	return c.Col*ld + c.Row
 }
 
-func (w *Warp) execWmmaMMA(in *Instr) error {
+func (w *Warp) execWmmaMMA(d *DInstr) error {
+	in := d.In
 	cfg := in.WConfig
-	nA := in.WMapA.FragmentLen()
-	nB := in.WMapB.FragmentLen()
+	nA := int(d.fragA)
+	nB := int(d.fragB)
 	aTile := w.gatherTile(in, in.WMapA, 0, cfg.AType, 0)
 	bTile := w.gatherTile(in, in.WMapB, nA, cfg.AType, 1)
 	cTile := w.gatherTile(in, in.WMap, nA+nB, cfg.CType, 2)
-	d := w.scratchTile(cfg.Shape.M, cfg.Shape.N, 3)
-	if err := wmma.MMAInto(cfg, aTile, bTile, cTile, d); err != nil {
+	dTile := w.scratchTile(cfg.Shape.M, cfg.Shape.N, 3)
+	if err := wmma.MMAInto(cfg, aTile, bTile, cTile, dTile); err != nil {
 		return err
 	}
 	// Scatter D into the destination registers via the D mapping.
@@ -170,7 +176,7 @@ func (w *Warp) execWmmaMMA(in *Instr) error {
 			continue
 		}
 		for slot, c := range dm.Lanes[lane] {
-			w.setReg(lane, in.Dst[slot], encodeElem(cfg.DType, d.At(c.Row, c.Col)))
+			w.setReg(lane, in.Dst[slot], encodeElem(cfg.DType, dTile.At(c.Row, c.Col)))
 		}
 	}
 	return nil

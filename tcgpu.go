@@ -16,10 +16,13 @@
 //   - GEMM kernels and a CUTLASS-style generator (internal/kernels,
 //     internal/cutlass);
 //   - the experiment registry regenerating every paper table and figure
-//     (internal/experiments), backed by a parallel experiment engine
-//     that fans each experiment's independent data points across a
-//     worker pool (ExperimentOptions.Workers: 0 = one worker per CPU,
-//     1 = sequential; parallel runs emit byte-identical tables).
+//     (internal/experiments), backed by a two-level parallel engine: a
+//     cross-experiment scheduler (RunAllExperiments) fans the whole
+//     registry's data points into one shared worker pool with a global
+//     ExperimentOptions.Workers budget (0 = one worker per CPU, 1 =
+//     sequential), and single experiments fan their points across a
+//     private pool of the same size. Parallel runs emit byte-identical
+//     tables whatever the worker count.
 //
 // The module path is "repro"; import this root package as:
 //
@@ -212,18 +215,22 @@ func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
 	return e.Run(opt)
 }
 
-// RunAllExperiments regenerates the full registry in paper order. Each
-// experiment runs its data points on the engine's worker pool.
+// RunAllExperiments regenerates the full registry in paper order on the
+// two-level scheduler: every experiment's independent data points fan out
+// into one shared worker pool bounded by opt.Workers (0 = one worker per
+// CPU), so the budget is global rather than per experiment. A failing
+// experiment no longer aborts the rest — every successful table is
+// returned in registry order, and the returned error aggregates the
+// failures (nil when all succeed).
 func RunAllExperiments(opt ExperimentOptions) ([]*ExperimentTable, error) {
+	results := experiments.RunAll(experiments.All(), opt, nil)
 	var out []*ExperimentTable
-	for _, e := range experiments.All() {
-		tb, err := e.Run(opt)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", e.ID, err)
+	for _, r := range results {
+		if r.Err == nil {
+			out = append(out, r.Table)
 		}
-		out = append(out, tb)
 	}
-	return out, nil
+	return out, experiments.Errs(results)
 }
 
 // NewMatrix returns a zeroed rows×cols row-major host matrix.
