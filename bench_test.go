@@ -265,6 +265,69 @@ func BenchmarkAblationDecodedALU(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationReadySet quantifies the event-driven ready-set
+// scheduler against the legacy per-cycle full scan (the gpu.ScanScheduler
+// knob; DESIGN.md). Two workloads: the fig17 quick grid — whose profile
+// motivated the refactor, with Workers pinned to 1 so the comparison
+// measures scheduler cost rather than pool occupancy — and a 1-SM
+// high-occupancy SIMT GEMM (64 warps, 16 per sub-core) where warp
+// scheduling dominates and the bookkeeping win is sharpest.
+func BenchmarkAblationReadySet(b *testing.B) {
+	workloads := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"fig17", func(b *testing.B) {
+			if _, err := RunExperiment("fig17", ExperimentOptions{Quick: true, Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"simt1sm", func(b *testing.B) {
+			l, err := kernels.SGEMMSimt(256, 256, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := gpu.TitanV()
+			cfg.NumSMs = 1
+			sim, err := gpu.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(gpu.LaunchSpec{
+				Kernel: l.Kernel, Grid: l.Grid, Block: l.Block,
+				Args:   []uint64{0, 1 << 20, 2 << 20, 3 << 20},
+				Global: ptx.NewFlatMemory(4 << 20),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}},
+	}
+	for _, w := range workloads {
+		for _, scan := range []bool{false, true} {
+			scan := scan
+			name := w.name + "/readyset"
+			if scan {
+				name = w.name + "/scan"
+			}
+			b.Run(name, func(b *testing.B) {
+				gpu.ScanScheduler(scan)
+				defer gpu.ScanScheduler(false)
+				for i := 0; i < b.N; i++ {
+					w.run(b)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSchedPolicies runs the scheduler sweep itself — one
+// iteration regenerates the sched table across all three policies.
+func BenchmarkAblationSchedPolicies(b *testing.B) {
+	benchExperiment(b, "sched", func(tb *experiments.Table) (string, float64) {
+		return "gto_ipc", lastCell(tb, "gto_ipc")
+	})
+}
+
 // BenchmarkAblationDoubleBuffer compares single- against double-buffered
 // shared-memory staging in the CUTLASS kernel — the software-pipelining
 // optimization the paper credits for cuBLAS beating plain WMMA code.

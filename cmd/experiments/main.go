@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/gpu"
 )
 
 // Flag bounds: values beyond these are almost certainly typos (the full
@@ -34,15 +35,20 @@ const (
 	maxWorkers = 4096
 )
 
-// validateFlags rejects out-of-range -sms/-workers values at the flag
-// boundary with a clear error instead of letting them misbehave deep in
-// the simulator.
-func validateFlags(sms, workers int) error {
+// validateFlags rejects out-of-range -sms/-workers values and unknown
+// -sched spellings at the flag boundary with a clear error instead of
+// letting them misbehave deep in the simulator.
+func validateFlags(sms, workers int, sched string) error {
 	if sms < 0 || sms > maxSMs {
 		return fmt.Errorf("experiments: -sms %d out of range (want 0 for the default, or 1..%d)", sms, maxSMs)
 	}
 	if workers < 0 || workers > maxWorkers {
 		return fmt.Errorf("experiments: -workers %d out of range (want 0 for one per CPU, or 1..%d)", workers, maxWorkers)
+	}
+	if sched != "" {
+		if _, err := gpu.ParseSchedulerPolicy(sched); err != nil {
+			return fmt.Errorf("experiments: -sched: %v", err)
+		}
 	}
 	return nil
 }
@@ -52,10 +58,11 @@ func main() {
 	run := flag.String("run", "", "experiment id to run, or 'all'")
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	sms := flag.Int("sms", 0, "override simulated SM count (chip-slice scaling)")
+	sched := flag.String("sched", "", "override warp scheduler for every experiment: gto | lrr | twolevel (default: per-experiment; the sched sweep ignores it)")
 	workers := flag.Int("workers", 0, "global worker-pool budget shared by all experiments' data points (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
-	if err := validateFlags(*sms, *workers); err != nil {
+	if err := validateFlags(*sms, *workers, *sched); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -71,7 +78,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, SMs: *sms, Workers: *workers}
+	opt := experiments.Options{Quick: *quick, SMs: *sms, Workers: *workers, Scheduler: *sched}
 	var todo []experiments.Experiment
 	if *run == "all" {
 		todo = experiments.All()

@@ -8,21 +8,26 @@ import "testing"
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		sms, workers int
+		sched        string
 		ok           bool
 	}{
-		{0, 0, true},
-		{16, 4, true},
-		{maxSMs, maxWorkers, true},
-		{-1, 0, false},
-		{0, -1, false},
-		{maxSMs + 1, 0, false},
-		{0, maxWorkers + 1, false},
-		{-80, -80, false},
+		{0, 0, "", true},
+		{16, 4, "", true},
+		{16, 4, "gto", true},
+		{16, 4, "lrr", true},
+		{16, 4, "twolevel", true},
+		{maxSMs, maxWorkers, "", true},
+		{-1, 0, "", false},
+		{0, -1, "", false},
+		{maxSMs + 1, 0, "", false},
+		{0, maxWorkers + 1, "", false},
+		{-80, -80, "", false},
+		{0, 0, "fifo", false},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.sms, c.workers)
+		err := validateFlags(c.sms, c.workers, c.sched)
 		if (err == nil) != c.ok {
-			t.Errorf("validateFlags(%d, %d) = %v, want ok=%v", c.sms, c.workers, err, c.ok)
+			t.Errorf("validateFlags(%d, %d, %q) = %v, want ok=%v", c.sms, c.workers, c.sched, err, c.ok)
 		}
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	tcsim -kernel wmma -m 256 -n 256 -k 256
 //	tcsim -kernel cutlass -m 512 -n 512 -k 512 -policy b64x64_w32x32
-//	tcsim -kernel sgemm -m 256 -n 256 -k 256 -sms 16 -scheduler lrr
+//	tcsim -kernel sgemm -m 256 -n 256 -k 256 -sms 16 -sched lrr
 //	tcsim -kernel wmma -sizes 128,256,512 -workers 4
 package main
 
@@ -32,7 +32,8 @@ func main() {
 	n := flag.Int("n", 256, "columns of B and D")
 	k := flag.Int("k", 256, "inner dimension")
 	sms := flag.Int("sms", 0, "simulated SM count (default: full 80)")
-	scheduler := flag.String("scheduler", "gto", "warp scheduler: gto | lrr")
+	sched := flag.String("sched", "gto", "warp scheduler: gto | lrr | twolevel")
+	flag.StringVar(sched, "scheduler", "gto", "alias for -sched")
 	policy := flag.String("policy", "b64x64_w32x32", "cutlass tile policy")
 	fp16acc := flag.Bool("fp16acc", false, "accumulate in FP16 instead of FP32")
 	verify := flag.Bool("verify", true, "check the result against the float64 reference")
@@ -40,7 +41,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for -sizes sweeps (0 = one per CPU)")
 	flag.Parse()
 
-	if err := validateFlags(*m, *n, *k, *sms, *workers, *scheduler); err != nil {
+	if err := validateFlags(*m, *n, *k, *sms, *workers, *sched); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -49,9 +50,7 @@ func main() {
 	if *sms > 0 {
 		cfg.NumSMs = *sms
 	}
-	if *scheduler == "lrr" {
-		cfg.Scheduler = gpu.LRR
-	}
+	cfg.Scheduler, _ = gpu.ParseSchedulerPolicy(*sched) // validated above
 
 	if *sizes != "" {
 		if err := runSweep(cfg, *kernel, *policy, *fp16acc, *sizes, *workers); err != nil {
@@ -149,8 +148,8 @@ func validateFlags(m, n, k, sms, workers int, scheduler string) error {
 	if workers < 0 || workers > maxWorkers {
 		return fmt.Errorf("tcsim: -workers %d out of range (want 0 for one per CPU, or 1..%d)", workers, maxWorkers)
 	}
-	if scheduler != "gto" && scheduler != "lrr" {
-		return fmt.Errorf("tcsim: unknown -scheduler %q (want gto or lrr)", scheduler)
+	if _, err := gpu.ParseSchedulerPolicy(scheduler); err != nil {
+		return fmt.Errorf("tcsim: -sched: %v", err)
 	}
 	return nil
 }

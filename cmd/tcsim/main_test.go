@@ -15,6 +15,7 @@ func TestValidateFlags(t *testing.T) {
 	}{
 		{"defaults", 256, 256, 256, 0, 0, "gto", true},
 		{"lrr", 64, 64, 64, 16, 2, "lrr", true},
+		{"twolevel", 64, 64, 64, 16, 2, "twolevel", true},
 		{"max bounds", maxDim, maxDim, maxDim, maxSMs, maxWorkers, "gto", true},
 		{"negative m", -64, 256, 256, 0, 0, "gto", false},
 		{"zero n", 256, 0, 256, 0, 0, "gto", false},

@@ -26,6 +26,11 @@ type Options struct {
 	// scaling substitution (0 = experiment default). DRAM and L2
 	// bandwidth scale proportionally so per-SM behaviour is preserved.
 	SMs int
+	// Scheduler overrides the warp scheduling policy of every simulated
+	// launch ("gto", "lrr" or "twolevel"; "" = experiment default). The
+	// scheduler sweep experiment ignores it — the sweep is the policy
+	// axis itself.
+	Scheduler string
 	// Workers bounds the worker pool that fans an experiment's
 	// independent data points across CPUs: 0 uses one worker per CPU,
 	// 1 forces a sequential run. Parallel runs produce byte-identical
@@ -126,6 +131,7 @@ func All() []Experiment {
 		{"fig15", "Figure 15", "wmma instruction latency distributions", Fig15},
 		{"fig16", "Figure 16", "wmma latency vs matrix size, with/without shared memory", Fig16},
 		{"fig17", "Figure 17", "GEMM TFLOPS by implementation and size", Fig17},
+		{"sched", "Extension", "CUTLASS GEMM IPC by warp scheduler policy", SchedSweep},
 	}
 }
 
@@ -167,6 +173,38 @@ func scaledTitanV(sms int) gpu.Config {
 	cfg.Mem.L2Banks = max(1, int(float64(cfg.Mem.L2Banks)*frac))
 	cfg.Mem.L2BytesPerCycle = max(8, cfg.Mem.L2BytesPerCycle)
 	return cfg
+}
+
+// Validate rejects malformed options upfront — in particular a
+// misspelled Scheduler, which would otherwise be accepted silently by
+// experiments that never simulate (the analytic tables) and reported
+// once per simulating experiment under RunAll.
+func (o Options) Validate() error {
+	if o.Scheduler != "" {
+		if _, err := gpu.ParseSchedulerPolicy(o.Scheduler); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applySched applies the Options.Scheduler override to a config.
+func (o Options) applySched(cfg gpu.Config) (gpu.Config, error) {
+	if o.Scheduler == "" {
+		return cfg, nil
+	}
+	p, err := gpu.ParseSchedulerPolicy(o.Scheduler)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Scheduler = p
+	return cfg, nil
+}
+
+// titanV returns the chip-slice configuration (scaledTitanV) with the
+// option overrides applied.
+func (o Options) titanV(sms int) (gpu.Config, error) {
+	return o.applySched(scaledTitanV(sms))
 }
 
 // launchOn runs a generated kernel on a fresh device of the given config,

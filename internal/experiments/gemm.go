@@ -36,7 +36,10 @@ func Fig14a(opt Options) (*Table, error) {
 	if opt.SMs > 0 {
 		sms = opt.SMs
 	}
-	cfg := scaledTitanV(sms)
+	cfg, err := opt.titanV(sms)
+	if err != nil {
+		return nil, err
+	}
 	proxy := hwproxy.TitanV().Scale(cfg.NumSMs)
 
 	t := &Table{ID: "fig14a", Title: "WMMA GEMM kernel cycles vs matrix size (simulator vs hardware proxy)",
@@ -46,7 +49,7 @@ func Fig14a(opt Options) (*Table, error) {
 		hw     float64
 	}
 	pts := make([]point, len(sizes))
-	err := forEach(opt, len(sizes), func(i int) error {
+	err = forEach(opt, len(sizes), func(i int) error {
 		n := sizes[i]
 		l, err := kernels.WMMAGemmShared(kernels.TensorMixed, n, n, n)
 		if err != nil {
@@ -120,7 +123,10 @@ func Fig14b(opt Options) (*Table, error) {
 	if opt.SMs > 0 {
 		sms = opt.SMs
 	}
-	cfg := scaledTitanV(sms)
+	cfg, err := opt.titanV(sms)
+	if err != nil {
+		return nil, err
+	}
 	proxy := hwproxy.TitanV().Scale(cfg.NumSMs)
 
 	var pts []point
@@ -138,7 +144,7 @@ func Fig14b(opt Options) (*Table, error) {
 		Columns: []string{"config", "hw_ipc", "sim_ipc"}}
 	type ipcPoint struct{ hw, sim float64 }
 	res := make([]ipcPoint, len(pts))
-	err := forEach(opt, len(pts), func(i int) error {
+	err = forEach(opt, len(pts), func(i int) error {
 		hw, sim, err := cutlassPoint(cfg, proxy, pts[i].c, 0)
 		if err != nil {
 			return err
@@ -174,7 +180,10 @@ func Fig14c(opt Options) (*Table, error) {
 	if opt.SMs > 0 {
 		sms = opt.SMs
 	}
-	cfg := scaledTitanV(sms)
+	cfg, err := opt.titanV(sms)
+	if err != nil {
+		return nil, err
+	}
 	proxy := hwproxy.TitanV().Scale(cfg.NumSMs)
 	pol := cutlass.DefaultPolicies()[1] // 64×64 block, 32×32 warp
 
@@ -182,7 +191,7 @@ func Fig14c(opt Options) (*Table, error) {
 		Columns: []string{"size", "hw_ipc", "sim_ipc", "sim/hw"}}
 	type ipcPoint struct{ hw, sim float64 }
 	res := make([]ipcPoint, len(sizes))
-	err := forEach(opt, len(sizes), func(i int) error {
+	err = forEach(opt, len(sizes), func(i int) error {
 		n := sizes[i]
 		cap := maxCTAs
 		if n >= 1024 {
@@ -218,7 +227,10 @@ func Fig15(opt Options) (*Table, error) {
 	if opt.SMs > 0 {
 		sms = opt.SMs
 	}
-	cfg := scaledTitanV(sms)
+	cfg, err := opt.titanV(sms)
+	if err != nil {
+		return nil, err
+	}
 	l, err := cutlass.Build(cutlass.GemmConfig{
 		Policy:    cutlass.DefaultPolicies()[1], // 64×64 block, 32×32 warp
 		Precision: kernels.TensorMixed, M: n, N: n, K: n,
@@ -267,11 +279,14 @@ func Fig16(opt Options) (*Table, error) {
 	if opt.SMs > 0 {
 		sms = opt.SMs
 	}
-	cfg := scaledTitanV(sms)
+	cfg, err := opt.titanV(sms)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{ID: "fig16", Title: "Median wmma latency vs matrix size (shared vs global operands)",
 		Columns: []string{"size", "load(sh)", "load(gl)", "mma(sh)", "mma(gl)", "store(sh)", "store(gl)"}}
 	rows := make([][6]float64, len(sizes))
-	err := forEach(opt, len(sizes), func(i int) error {
+	err = forEach(opt, len(sizes), func(i int) error {
 		n := sizes[i]
 		maxCTAs := cfg.NumSMs * 8
 		shared, err := cutlass.Build(cutlass.GemmConfig{
@@ -332,7 +347,10 @@ func Fig17(opt Options) (*Table, error) {
 	if opt.SMs > 0 {
 		sms = opt.SMs
 	}
-	cfg := scaledTitanV(sms)
+	cfg, err := opt.titanV(sms)
+	if err != nil {
+		return nil, err
+	}
 	scale := float64(gpu.TitanV().NumSMs) / float64(cfg.NumSMs)
 
 	cublasLike := func(prec kernels.GemmPrecision) func(m, n, k int) (*kernels.Launch, error) {
@@ -368,7 +386,7 @@ func Fig17(opt Options) (*Table, error) {
 	// simulator, so the whole grid fans out across the worker pool.
 	cells := make([]float64, len(sizes)*len(series))
 	var maxPerfTFLOPS float64
-	err := forEach(opt, len(cells)+1, func(i int) error {
+	err = forEach(opt, len(cells)+1, func(i int) error {
 		if i == len(cells) {
 			v, err := fig17MaxPerf(cfg, scale, opt)
 			if err != nil {

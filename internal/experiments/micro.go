@@ -256,10 +256,13 @@ func Fig12c(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "fig12c", Title: "Cycles to execute parallel HMMA vs warps per CTA (1 SM)",
 		Columns: []string{"warps", "cycles", "cycles/warp-mma"}}
-	cfg := gpu.TitanV()
+	cfg, err := opt.applySched(gpu.TitanV())
+	if err != nil {
+		return nil, err
+	}
 	cfg.NumSMs = 1
 	cycles := make([]uint64, 8)
-	err := forEach(opt, len(cycles), func(i int) error {
+	err = forEach(opt, len(cycles), func(i int) error {
 		warps := i + 1
 		l, err := kernels.MMALoop(kernels.TensorMixed, warps, iters, 2)
 		if err != nil {

@@ -1,12 +1,14 @@
 // Package gpu is the cycle-level GPU timing simulator — the analog of the
 // paper's modified GPGPU-Sim. It models Volta-class streaming
-// multiprocessors with four sub-cores each (Figure 1): per-sub-core warp
-// schedulers with GTO or round-robin policies, a register scoreboard for
-// RAW/WAW hazards, per-unit initiation intervals, the two-tensor-cores-
-// per-sub-core arrangement inferred in Section IV, and the memory system
-// of internal/mem. Kernels are the PTX-subset programs of internal/ptx;
-// functional execution happens at issue (execution-driven, timing-
-// directed), exactly the split the paper's GPGPU-Sim changes use.
+// multiprocessors with four sub-cores each (Figure 1): pluggable
+// per-sub-core warp schedulers (greedy-then-oldest, loose round-robin,
+// two-level) driven by event-driven ready-set bookkeeping, a register
+// scoreboard for RAW/WAW hazards, per-unit initiation intervals, the
+// two-tensor-cores-per-sub-core arrangement inferred in Section IV, and
+// the memory system of internal/mem. Kernels are the PTX-subset programs
+// of internal/ptx; functional execution happens at issue
+// (execution-driven, timing-directed), exactly the split the paper's
+// GPGPU-Sim changes use.
 package gpu
 
 import (
@@ -26,13 +28,37 @@ const (
 	GTO SchedulerPolicy = iota
 	// LRR is loose round robin.
 	LRR
+	// TwoLevel is two-level warp scheduling: only a small active subset
+	// of each sub-core's warps competes for issue (round-robin within the
+	// subset); warps move between the active subset and the pending pool
+	// when the whole subset stalls. Config.TwoLevelActive sizes the
+	// subset.
+	TwoLevel
 )
 
 func (p SchedulerPolicy) String() string {
-	if p == GTO {
+	switch p {
+	case GTO:
 		return "gto"
+	case LRR:
+		return "lrr"
+	case TwoLevel:
+		return "twolevel"
 	}
-	return "lrr"
+	return fmt.Sprintf("scheduler(%d)", int(p))
+}
+
+// Schedulers returns every scheduling policy, in sweep order.
+func Schedulers() []SchedulerPolicy { return []SchedulerPolicy{GTO, LRR, TwoLevel} }
+
+// ParseSchedulerPolicy maps the CLI -sched spelling to a policy.
+func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) {
+	for _, p := range Schedulers() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("gpu: unknown scheduler %q (want gto, lrr or twolevel)", s)
 }
 
 // Config describes the simulated GPU.
@@ -48,6 +74,10 @@ type Config struct {
 	ClockMHz      float64
 
 	Scheduler SchedulerPolicy
+
+	// TwoLevelActive is the size of the TwoLevel scheduler's active
+	// subset per sub-core (0 = default 4). Ignored by GTO and LRR.
+	TwoLevelActive int
 
 	// TensorCoresPerSubCore is 2 on Volta (Section IV); setting it to 1
 	// is the paper's implicit ablation — each warp then pushes its octets
@@ -98,6 +128,7 @@ func TitanV() Config {
 		SharedPerSM:           96 << 10,
 		ClockMHz:              1530,
 		Scheduler:             GTO,
+		TwoLevelActive:        4,
 		TensorCoresPerSubCore: 2,
 		HMMAIIScale:           1,
 		ReuseCache:            true,
@@ -137,6 +168,18 @@ func (c Config) PeakTensorTFLOPS() float64 {
 func (c Config) Validate() error {
 	if c.NumSMs < 1 || c.SubCores < 1 {
 		return fmt.Errorf("gpu: need at least one SM and sub-core")
+	}
+	if c.Scheduler < GTO || c.Scheduler > TwoLevel {
+		return fmt.Errorf("gpu: unknown scheduler policy %d", int(c.Scheduler))
+	}
+	if c.TwoLevelActive < 0 {
+		return fmt.Errorf("gpu: TwoLevelActive must be ≥ 0 (0 = default)")
+	}
+	if c.BarrierLatency < 1 {
+		// The schedulers re-arm released warps strictly after the release
+		// cycle; a zero-latency barrier would let the legacy scan issue a
+		// released warp within the releasing cycle itself.
+		return fmt.Errorf("gpu: BarrierLatency must be ≥ 1")
 	}
 	if c.TensorCoresPerSubCore < 1 || c.TensorCoresPerSubCore > 2 {
 		return fmt.Errorf("gpu: tensor cores per sub-core must be 1 or 2")

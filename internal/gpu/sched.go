@@ -1,0 +1,396 @@
+package gpu
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/ptx"
+)
+
+// The warp-scheduling core: a per-sub-core driver that derives the issue
+// candidates either from the event-driven ready set (the default) or from
+// the legacy full scan (the ScanScheduler knob), orders them through a
+// pluggable schedPolicy, and attempts them until one issues. Both paths
+// feed the policies identical candidate sets, so they produce
+// bit-identical Stats — asserted by the equivalence tests.
+
+// scanScheduler, when set, makes subsequently constructed Simulators
+// rebuild the scheduler's candidate set by scanning every warp each cycle
+// instead of consulting the incrementally maintained ready set. It exists
+// so tests can assert the event-driven bookkeeping is timing-preserving
+// (mirroring ptx.InterpretALU); production code never sets it.
+var scanScheduler atomic.Bool
+
+// ScanScheduler switches Simulators constructed afterwards between the
+// event-driven ready-set scheduler (the default) and the legacy per-cycle
+// full scan. Tests use it to assert both produce identical Stats.
+func ScanScheduler(on bool) { scanScheduler.Store(on) }
+
+// schedPolicy orders a sub-core's ready warps for issue. Policies are
+// stateless singletons; their per-sub-core state (rotation anchor, active
+// subset) lives on the subcore and its warps.
+type schedPolicy interface {
+	// preferred returns the slot the driver should attempt before paying
+	// for the full candidate order (-1 when the policy has no sticky
+	// preference). GTO's greedy warp issues back to back in the common
+	// case, so this keeps the scheduler O(1) on those cycles.
+	preferred(sc *subcore) int
+	// pick appends the ready slots to buf in issue-priority order. ready
+	// holds the candidate slots in ascending order; the driver attempts
+	// buf in order until one warp issues. The preferred slot may be
+	// included — the driver skips it if already attempted.
+	pick(sc *subcore, now uint64, ready, buf []int) []int
+	// issued notes that the warp in slot won this cycle's issue.
+	issued(sc *subcore, slot int)
+	// retired notes that w left the sub-core's pool.
+	retired(sc *subcore, w *simWarp)
+}
+
+var (
+	gtoSched      = gtoPolicy{}
+	lrrSched      = lrrPolicy{}
+	twoLevelSched = twoLevelPolicy{}
+)
+
+func policyFor(p SchedulerPolicy) schedPolicy {
+	switch p {
+	case LRR:
+		return lrrSched
+	case TwoLevel:
+		return twoLevelSched
+	default:
+		return gtoSched
+	}
+}
+
+// defaultTwoLevelActive sizes the TwoLevel active subset when
+// Config.TwoLevelActive is zero.
+const defaultTwoLevelActive = 4
+
+// gtoPolicy is greedy-then-oldest: the last issuer first (via preferred),
+// then the remaining ready warps by ascending lastIssue, ties broken by
+// rotation order after the greedy slot.
+type gtoPolicy struct{}
+
+func (gtoPolicy) preferred(sc *subcore) int { return sc.greedy }
+
+func (gtoPolicy) pick(sc *subcore, _ uint64, ready, buf []int) []int {
+	g := sc.greedy
+	n := len(sc.warps)
+	if !sc.scan && n <= gtoPackLimit {
+		// Hot path: sort packed (lastIssue·n + rotDist) << 16 | slot keys,
+		// so each comparison is one uint64 instead of a lastIssue compare
+		// plus a wrap-around distance computation.
+		keys := sc.keyBuf[:0]
+		for _, idx := range ready {
+			if idx == g {
+				continue
+			}
+			w := sc.warps[idx]
+			keys = append(keys, (w.lastIssue*uint64(n)+uint64(rotDist(idx, g, n)))<<16|uint64(idx))
+		}
+		sc.keyBuf = keys
+		for i := 1; i < len(keys); i++ { // insertion sort, k is small
+			k := keys[i]
+			j := i - 1
+			for ; j >= 0 && keys[j] > k; j-- {
+				keys[j+1] = keys[j]
+			}
+			keys[j+1] = k
+		}
+		for _, k := range keys {
+			buf = append(buf, int(k&0xffff))
+		}
+		return buf
+	}
+	// Legacy path (the ScanScheduler knob, or absurdly large warp pools):
+	// the pre-refactor selection sort over per-pair gtoLess compares. It
+	// visits the identical order, so the knob stays bit-equivalent while
+	// preserving the legacy scheduler's cost profile.
+	for _, idx := range ready {
+		if idx != g {
+			buf = append(buf, idx)
+		}
+	}
+	for i := range buf {
+		best := i
+		for j := i + 1; j < len(buf); j++ {
+			if gtoLess(sc, buf[j], buf[best], g, n) {
+				best = j
+			}
+		}
+		buf[i], buf[best] = buf[best], buf[i]
+	}
+	return buf
+}
+
+// gtoPackLimit bounds the packed-key sort: with maxCycles ≤ 4e9,
+// lastIssue·n<<16 stays well inside uint64 for n ≤ 4096. Larger warp
+// pools (absurd configs) take the unpacked selection sort.
+const gtoPackLimit = 4096
+
+// gtoLess orders slots a before b: least recently issued first, ties by
+// rotation distance from the slot after greedy.
+func gtoLess(sc *subcore, a, b, greedy, n int) bool {
+	la, lb := sc.warps[a].lastIssue, sc.warps[b].lastIssue
+	if la != lb {
+		return la < lb
+	}
+	return rotDist(a, greedy, n) < rotDist(b, greedy, n)
+}
+
+// rotDist is the distance of slot from greedy+1, wrapping at n.
+func rotDist(slot, greedy, n int) int {
+	if slot > greedy {
+		return slot - greedy - 1
+	}
+	return slot + n - greedy - 1
+}
+
+func (gtoPolicy) issued(sc *subcore, slot int) { sc.greedy = slot }
+func (gtoPolicy) retired(*subcore, *simWarp)   {}
+
+// lrrPolicy is loose round-robin: ready warps in rotation order starting
+// one past the last issuer.
+type lrrPolicy struct{}
+
+func (lrrPolicy) preferred(*subcore) int { return -1 }
+
+func (lrrPolicy) pick(sc *subcore, _ uint64, ready, buf []int) []int {
+	return appendRotated(sc.greedy, ready, buf)
+}
+
+// appendRotated emits the ascending slots in rotation order from g+1:
+// first the slots above g, then the wrap-around tail.
+func appendRotated(g int, ready, buf []int) []int {
+	for _, idx := range ready {
+		if idx > g {
+			buf = append(buf, idx)
+		}
+	}
+	for _, idx := range ready {
+		if idx <= g {
+			buf = append(buf, idx)
+		}
+	}
+	return buf
+}
+
+func (lrrPolicy) issued(sc *subcore, slot int) { sc.greedy = slot }
+func (lrrPolicy) retired(*subcore, *simWarp)   {}
+
+// twoLevelPolicy issues round-robin within a small active subset of the
+// sub-core's warps; the rest wait in a pending pool. When no active warp
+// is ready (all stalled on memory, the scoreboard, or a barrier), ready
+// pending warps are promoted, demoting non-issuable active warps to make
+// room — the classic two-level scheme that concentrates issue bandwidth
+// on a few warps to keep their locality while the pool hides long
+// latencies.
+type twoLevelPolicy struct{}
+
+func (twoLevelPolicy) preferred(*subcore) int { return -1 }
+
+func (twoLevelPolicy) pick(sc *subcore, now uint64, ready, buf []int) []int {
+	anyActive := false
+	for _, idx := range ready {
+		if sc.warps[idx].tlActive {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		// The whole active subset is blocked: swap in ready pending warps
+		// one for one. Every current member is non-issuable here, so
+		// demotion always finds a victim while the subset is full.
+		for _, idx := range ready {
+			if sc.tlActive >= sc.tlCap && !sc.demoteOne(now) {
+				break
+			}
+			sc.warps[idx].tlActive = true
+			sc.tlActive++
+		}
+	} else if sc.tlActive < sc.tlCap {
+		// Spare capacity: fill it from the ready pending warps.
+		for _, idx := range ready {
+			if sc.tlActive >= sc.tlCap {
+				break
+			}
+			if w := sc.warps[idx]; !w.tlActive {
+				w.tlActive = true
+				sc.tlActive++
+			}
+		}
+	}
+	start := len(buf)
+	buf = appendRotated(sc.greedy, ready, buf)
+	// Keep only active warps, preserving rotation order.
+	out := buf[:start]
+	for _, idx := range buf[start:] {
+		if sc.warps[idx].tlActive {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// demoteOne evicts the lowest-slot non-issuable member of the active
+// subset; false when every member is issuable.
+func (sc *subcore) demoteOne(now uint64) bool {
+	for _, w := range sc.warps {
+		if w.tlActive && !w.issuable(now) {
+			w.tlActive = false
+			sc.tlActive--
+			return true
+		}
+	}
+	return false
+}
+
+func (twoLevelPolicy) issued(sc *subcore, slot int) { sc.greedy = slot }
+
+func (twoLevelPolicy) retired(sc *subcore, w *simWarp) {
+	if w.tlActive {
+		w.tlActive = false
+		sc.tlActive--
+	}
+}
+
+// stepSubcore lets the sub-core's scheduler issue at most one warp
+// instruction. Returns whether one issued and the earliest cycle at which
+// a currently blocked warp could become issuable.
+func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued bool, wake uint64, err error) {
+	wake = math.MaxUint64
+	if len(sc.warps) == 0 {
+		return false, wake, nil
+	}
+	if sc.greedy >= len(sc.warps) {
+		sc.greedy = 0
+	}
+	if !sc.scan {
+		sc.drainWake(now)
+	}
+	// Sticky fast path: attempt the policy's preferred warp before paying
+	// for the candidate set (tryWarp self-screens, so a blocked preferred
+	// warp only contributes its wake cycle).
+	tried := -1
+	if p := sc.policy.preferred(sc); p >= 0 {
+		iss, wk, e := m.tryWarp(sc, p, now, st)
+		if wk < wake {
+			wake = wk
+		}
+		if e != nil || iss {
+			return iss, wake, e
+		}
+		tried = p
+	}
+	var ready []int
+	if sc.scan {
+		ready = sc.scanReady(now, &wake)
+	} else {
+		ready = sc.readySlots()
+		if top := sc.heapTop(); top < wake {
+			wake = top
+		}
+	}
+	if len(ready) == 0 {
+		return false, wake, nil
+	}
+	order := sc.policy.pick(sc, now, ready, sc.orderBuf[:0])
+	sc.orderBuf = order[:0]
+	for _, idx := range order {
+		if idx == tried {
+			continue
+		}
+		iss, wk, e := m.tryWarp(sc, idx, now, st)
+		if wk < wake {
+			wake = wk
+		}
+		if e != nil || iss {
+			return iss, wake, e
+		}
+	}
+	return false, wake, nil
+}
+
+// scanReady rebuilds the candidate set by scanning every warp — the
+// legacy pre-ready-set path kept behind the ScanScheduler knob. The stall
+// screen is shared by every policy (LRR used to rebuild the full
+// candidate order unconditionally); warps still stalled contribute their
+// wake cycle so the idle fast-forward matches the event-driven path.
+func (sc *subcore) scanReady(now uint64, wake *uint64) []int {
+	buf := sc.readyBuf[:0]
+	for idx, w := range sc.warps {
+		switch {
+		case w.state == warpFinished || w.state == warpAtBarrier:
+		case w.stallUntil > now:
+			if w.stallUntil < *wake {
+				*wake = w.stallUntil
+			}
+		default:
+			buf = append(buf, idx)
+		}
+	}
+	sc.readyBuf = buf
+	return buf
+}
+
+// tryWarp attempts to issue the warp in the given slot. outcome is one
+// of: issued (an instruction went out), or blocked with wake holding the
+// earliest cycle the warp could become issuable (MaxUint64 when it has
+// none). Scoreboard hazards move the warp to Stalled as a side effect.
+func (m *sm) tryWarp(sc *subcore, idx int, now uint64, st *Stats) (issued bool, wake uint64, err error) {
+	wake = math.MaxUint64
+	w := sc.warps[idx]
+	if w.state == warpFinished || w.state == warpAtBarrier {
+		return false, wake, nil
+	}
+	if w.stallUntil > now {
+		return false, w.stallUntil, nil
+	}
+	in := w.warp.PeekD()
+	if in == nil {
+		m.finishWarp(w, now)
+		// A finish without an issue still changes scheduler state (active
+		// slots free up, CTAs may retire): re-step next cycle rather than
+		// letting the fast-forward sleep. Without this, TwoLevel could
+		// park a sub-core forever when its whole active subset exhausts
+		// its instruction stream in one pass while ready pending warps
+		// (filtered out of this pass's order) still hold work.
+		return false, now + 1, nil
+	}
+	if ready, at := w.operandsReady(in, now); !ready {
+		sc.stall(w, at)
+		return false, at, nil
+	}
+	if free, at := m.unitFree(sc, in, now); !free {
+		return false, at, nil
+	}
+	if err := m.issue(sc, w, in, now, st); err != nil {
+		return false, wake, err
+	}
+	sc.policy.issued(sc, idx)
+	return true, wake, nil
+}
+
+// unitFree checks structural availability of the instruction's unit,
+// dispatching on the decoded execution class.
+func (m *sm) unitFree(sc *subcore, in *ptx.DInstr, now uint64) (bool, uint64) {
+	switch in.Class {
+	case ptx.DClassWmmaMMA:
+		if sc.tcFree > now {
+			return false, sc.tcFree
+		}
+	case ptx.DClassSFU:
+		if sc.sfuFree > now {
+			return false, sc.sfuFree
+		}
+	case ptx.DClassALU:
+		if sc.aluFree > now {
+			return false, sc.aluFree
+		}
+	default:
+		// LSU queueing is modeled inside mem.SMPort; control ops always
+		// accept.
+	}
+	return true, now
+}

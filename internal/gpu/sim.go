@@ -77,17 +77,24 @@ type Simulator struct {
 	cycle uint64
 }
 
-// New builds a simulator for the configuration.
+// New builds a simulator for the configuration. The ScanScheduler debug
+// knob is sampled here, like ptx.InterpretALU at decode time.
 func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	s := &Simulator{cfg: cfg, sys: mem.NewSystem(cfg.Mem)}
+	pol := policyFor(cfg.Scheduler)
+	scan := scanScheduler.Load()
+	tlCap := cfg.TwoLevelActive
+	if tlCap <= 0 {
+		tlCap = defaultTwoLevelActive
+	}
 	for i := 0; i < cfg.NumSMs; i++ {
 		m := &sm{id: i, sim: s, port: s.sys.NewSMPort()}
 		m.subcores = make([]*subcore, cfg.SubCores)
 		for j := range m.subcores {
-			m.subcores[j] = &subcore{}
+			m.subcores[j] = &subcore{policy: pol, scan: scan, tlCap: tlCap}
 		}
 		s.sms = append(s.sms, m)
 	}
@@ -119,38 +126,6 @@ type sm struct {
 	releaseWake uint64
 }
 
-type subcore struct {
-	warps   []*simWarp
-	tcFree  uint64
-	aluFree uint64
-	sfuFree uint64
-	greedy  int // index of the warp GTO sticks with
-	// nextWake mirrors sm.nextWake at sub-core granularity: while the
-	// clock is below it this sub-core's scheduler scan is skipped.
-	// pendingWake collects barrier releases that re-arm this sub-core's
-	// warps while its own scan is in flight.
-	nextWake    uint64
-	pendingWake uint64
-}
-
-type simCTA struct {
-	env       *ptx.Env
-	warps     []*simWarp
-	live      int
-	atBarrier int
-}
-
-type simWarp struct {
-	warp       *ptx.Warp
-	cta        *simCTA
-	sc         *subcore
-	regReady   []uint64
-	stallUntil uint64
-	lastIssue  uint64
-	barrier    bool
-	finished   bool
-}
-
 // Run simulates the launch to completion and returns its statistics.
 func (s *Simulator) Run(spec LaunchSpec) (*Stats, error) {
 	if spec.Kernel == nil || spec.Global == nil {
@@ -175,9 +150,7 @@ func (s *Simulator) Run(spec LaunchSpec) (*Stats, error) {
 		m.shared = 0
 		m.nextWake = 0
 		for _, sc := range m.subcores {
-			sc.warps = sc.warps[:0]
-			sc.tcFree, sc.aluFree, sc.sfuFree, sc.greedy = 0, 0, 0, 0
-			sc.nextWake, sc.pendingWake = 0, math.MaxUint64
+			sc.reset()
 		}
 	}
 	// Initial dispatch: round-robin one CTA per SM per pass, so the grid
@@ -321,12 +294,12 @@ func (d *dispatcher) fillOne(m *sm) (bool, error) {
 		sc.nextWake = 0 // new warps can issue immediately
 		sw := &simWarp{warp: w, cta: cta, sc: sc, regReady: make([]uint64, k.NumRegs)}
 		if w.Exited {
-			sw.finished = true
+			sw.state = warpFinished
 		} else {
 			cta.live++
 		}
 		cta.warps = append(cta.warps, sw)
-		sc.warps = append(sc.warps, sw)
+		sc.enqueue(sw)
 	}
 	m.warps += warpsPerCTA
 	m.shared += k.SharedBytes
@@ -396,206 +369,12 @@ func (m *sm) step(st *Stats) (issued bool, wake uint64, err error) {
 	return issued, wake, nil
 }
 
-func (sc *subcore) removeFinished() {
-	kept := sc.warps[:0]
-	for _, w := range sc.warps {
-		if !w.finished {
-			kept = append(kept, w)
-		}
-	}
-	sc.warps = kept
-	if sc.greedy >= len(sc.warps) {
-		sc.greedy = 0
-	}
-}
-
-// candidateOrder yields the loose-round-robin warp order: one past the
-// last issuer, wrapping. (GTO never reaches here — stepSubcore's fast
-// path handles its greedy-then-oldest selection inline.)
-func (sc *subcore) candidateOrder(buf []int) []int {
-	n := len(sc.warps)
-	buf = buf[:0]
-	if n == 0 {
-		return buf
-	}
-	idx := (sc.greedy + 1) % n
-	for i := 0; i < n; i++ {
-		buf = append(buf, idx)
-		if idx++; idx >= n {
-			idx = 0
-		}
-	}
-	return buf
-}
-
-// tryWarp attempts to issue warp idx of the sub-core. outcome is one of:
-// issued (an instruction went out), or blocked with wake holding the
-// earliest cycle the warp could become issuable (MaxUint64 when it has
-// none, e.g. finished or waiting at a barrier).
-func (m *sm) tryWarp(sc *subcore, idx int, now uint64, st *Stats) (issued bool, wake uint64, err error) {
-	wake = math.MaxUint64
-	w := sc.warps[idx]
-	if w.finished {
-		return false, wake, nil
-	}
-	if w.barrier {
-		return false, wake, nil
-	}
-	if w.stallUntil > now {
-		return false, w.stallUntil, nil
-	}
-	in := w.warp.PeekD()
-	if in == nil {
-		m.finishWarp(w, now)
-		return false, wake, nil
-	}
-	if ready, at := w.operandsReady(in, now); !ready {
-		w.stallUntil = at
-		return false, at, nil
-	}
-	if free, at := m.unitFree(sc, in, now); !free {
-		return false, at, nil
-	}
-	if err := m.issue(sc, w, in, now, st); err != nil {
-		return false, wake, err
-	}
-	sc.greedy = idx
-	return true, wake, nil
-}
-
-func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued bool, wake uint64, err error) {
-	wake = math.MaxUint64
-	n := len(sc.warps)
-	if n == 0 {
-		return false, wake, nil
-	}
-	if m.sim.cfg.Scheduler == GTO {
-		// Greedy-then-oldest: the greedy warp issues back to back in the
-		// common case, so try it before paying for the full candidate
-		// order (whose selection sort dominated the scheduler's cost).
-		if sc.greedy >= n {
-			sc.greedy = 0
-		}
-		iss, wk, e := m.tryWarp(sc, sc.greedy, now, st)
-		if wk < wake {
-			wake = wk
-		}
-		if e != nil || iss {
-			return iss, wake, e
-		}
-		// Cheap screen of the remaining warps, fused with building the
-		// candidate list: warps that are finished, at a barrier, or
-		// stalled cannot issue this cycle, and their wake bookkeeping
-		// does not depend on candidate order. The sorted scan is only
-		// worth paying when at least one warp survives the screen —
-		// during stall periods (the common case on memory-bound phases)
-		// this skips the selection entirely.
-		anyReady := false
-		var order [64]int
-		rest := order[:0]
-		idx := sc.greedy
-		for i := 1; i < n; i++ {
-			// Increment-and-wrap instead of modulo: this scan runs per
-			// sub-core per cycle and the divide dominated its cost.
-			if idx++; idx >= n {
-				idx = 0
-			}
-			rest = append(rest, idx)
-			w := sc.warps[idx]
-			if w.finished || w.barrier {
-				continue
-			}
-			if w.stallUntil > now {
-				if w.stallUntil < wake {
-					wake = w.stallUntil
-				}
-				continue
-			}
-			anyReady = true
-		}
-		if !anyReady {
-			return false, wake, nil
-		}
-		// Incremental selection: extract the least-recently-issued
-		// candidate one step at a time — the same sequence a full
-		// selection sort would visit — and stop at the first issue, which
-		// is typically the first extraction.
-		doSort := n > 2
-		for i := 0; i < len(rest); i++ {
-			if doSort {
-				best := i
-				for j := i + 1; j < len(rest); j++ {
-					if sc.warps[rest[j]].lastIssue < sc.warps[rest[best]].lastIssue {
-						best = j
-					}
-				}
-				rest[i], rest[best] = rest[best], rest[i]
-			}
-			iss, wk, e := m.tryWarp(sc, rest[i], now, st)
-			if wk < wake {
-				wake = wk
-			}
-			if e != nil || iss {
-				return iss, wake, e
-			}
-		}
-		return false, wake, nil
-	}
-	var order [64]int
-	for _, idx := range sc.candidateOrder(order[:0]) {
-		iss, wk, e := m.tryWarp(sc, idx, now, st)
-		if wk < wake {
-			wake = wk
-		}
-		if e != nil || iss {
-			return iss, wake, e
-		}
-	}
-	return false, wake, nil
-}
-
+// finishWarp retires a warp and releases its CTA's barrier if it was the
+// last straggler the barrier was waiting for.
 func (m *sm) finishWarp(w *simWarp, now uint64) {
-	w.finished = true
+	w.sc.finish(w)
 	w.cta.live--
 	m.maybeReleaseBarrier(w.cta, now)
-}
-
-// operandsReady checks the scoreboard for RAW and WAW hazards, on the
-// decoded instruction's precomputed register list.
-func (w *simWarp) operandsReady(in *ptx.DInstr, now uint64) (bool, uint64) {
-	latest := uint64(0)
-	for _, id := range in.ScoreboardRegs() {
-		if t := w.regReady[id]; t > latest {
-			latest = t
-		}
-	}
-	if latest > now {
-		return false, latest
-	}
-	return true, now
-}
-
-// unitFree checks structural availability of the instruction's unit,
-// dispatching on the decoded execution class.
-func (m *sm) unitFree(sc *subcore, in *ptx.DInstr, now uint64) (bool, uint64) {
-	switch in.Class {
-	case ptx.DClassWmmaMMA:
-		if sc.tcFree > now {
-			return false, sc.tcFree
-		}
-	case ptx.DClassSFU:
-		if sc.sfuFree > now {
-			return false, sc.sfuFree
-		}
-	case ptx.DClassALU:
-		if sc.aluFree > now {
-			return false, sc.aluFree
-		}
-	default:
-		// LSU queueing is modeled inside mem.SMPort; control ops always
-		// accept.
-	}
-	return true, now
 }
 
 // issue executes the instruction functionally and charges its timing.
@@ -617,7 +396,7 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.DInstr, now uint64, st *Stat
 		m.finishWarp(w, now)
 		return nil
 	case ptx.DClassBar:
-		w.barrier = true
+		sc.toBarrier(w)
 		w.cta.atBarrier++
 		m.maybeReleaseBarrier(w.cta, now)
 		return nil
@@ -656,6 +435,9 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.DInstr, now uint64, st *Stat
 		w.regReady[id] = done
 	}
 	// The next instruction of this warp issues no earlier than next cycle.
+	// The warp stays Ready: its sub-core is guaranteed to step again at
+	// now+1, where the scheduler either issues it again or parks it on
+	// the scoreboard.
 	if w.stallUntil <= now {
 		w.stallUntil = now + 1
 	}
@@ -689,27 +471,29 @@ func (m *sm) accessMemory(res ptx.Result, now uint64) uint64 {
 }
 
 // maybeReleaseBarrier releases the CTA's barrier once every live warp has
-// arrived (exited warps do not participate).
+// arrived (exited warps do not participate). Released warps re-arm as
+// Stalled until the barrier latency expires; their sub-cores are woken
+// directly when their scan already ran this cycle and via pendingWake
+// when it is mid-flight.
 func (m *sm) maybeReleaseBarrier(cta *simCTA, now uint64) {
 	if cta.live == 0 || cta.atBarrier < cta.live {
 		return
 	}
+	until := now + uint64(m.sim.cfg.BarrierLatency)
 	for _, w := range cta.warps {
-		if w.barrier {
-			w.barrier = false
-			w.warp.AtBarrier = false
-			w.stallUntil = now + uint64(m.sim.cfg.BarrierLatency)
-			if w.stallUntil < m.releaseWake {
-				m.releaseWake = w.stallUntil
-			}
-			// Wake the warp's sub-core: directly if its scan already ran
-			// this cycle, and via pendingWake if it is mid-scan.
-			if w.stallUntil < w.sc.nextWake {
-				w.sc.nextWake = w.stallUntil
-			}
-			if w.stallUntil < w.sc.pendingWake {
-				w.sc.pendingWake = w.stallUntil
-			}
+		if w.state != warpAtBarrier {
+			continue
+		}
+		w.warp.AtBarrier = false
+		w.sc.release(w, until)
+		if until < m.releaseWake {
+			m.releaseWake = until
+		}
+		if until < w.sc.nextWake {
+			w.sc.nextWake = until
+		}
+		if until < w.sc.pendingWake {
+			w.sc.pendingWake = until
 		}
 	}
 	cta.atBarrier = 0

@@ -188,7 +188,7 @@ func TestTensorAblationKnobs(t *testing.T) {
 }
 
 func TestSchedulerPoliciesBothComplete(t *testing.T) {
-	for _, pol := range []SchedulerPolicy{GTO, LRR} {
+	for _, pol := range Schedulers() {
 		cfg := smallTitanV()
 		cfg.Scheduler = pol
 		sim, err := New(cfg)
@@ -212,9 +212,10 @@ func TestSchedulerPoliciesBothComplete(t *testing.T) {
 	}
 }
 
-// The timing simulator must preserve functional correctness through
-// barriers and shared memory (a staged-copy kernel).
-func TestBarrierKernelUnderTiming(t *testing.T) {
+// stagedKernel builds the barrier workload shared by the timing and
+// scheduler tests: stage 256 words into shared memory, synchronize, read
+// them back reversed.
+func stagedKernel() *ptx.Kernel {
 	b := ptx.NewBuilder("stage")
 	pin := b.Param("in", ptx.U64)
 	pout := b.Param("out", ptx.U64)
@@ -241,7 +242,12 @@ func TestBarrierKernelUnderTiming(t *testing.T) {
 	b.Add(ptx.U64, dstG, ptx.R(a), ptx.R(pout))
 	b.St(ptx.Global, 32, ptx.R(dstG), []ptx.Operand{ptx.R(v)})
 	b.Exit()
+	return b.MustBuild()
+}
 
+// The timing simulator must preserve functional correctness through
+// barriers and shared memory (a staged-copy kernel).
+func TestBarrierKernelUnderTiming(t *testing.T) {
 	mem := ptx.NewFlatMemory(2 * 4 * 256)
 	for i := 0; i < 256; i++ {
 		binary.LittleEndian.PutUint32(mem.Data[4*i:], uint32(i*11))
@@ -251,7 +257,7 @@ func TestBarrierKernelUnderTiming(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := sim.Run(LaunchSpec{
-		Kernel: b.MustBuild(),
+		Kernel: stagedKernel(),
 		Grid:   ptx.D1(1),
 		Block:  ptx.D1(256),
 		Args:   []uint64{0, 4 * 256},

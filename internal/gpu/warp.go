@@ -1,0 +1,289 @@
+package gpu
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/ptx"
+)
+
+// Warp lifecycle and the per-sub-core ready-set bookkeeping. Instead of
+// rescanning every warp every cycle, each sub-core keeps (a) a bitmask of
+// Ready warps and (b) a min-heap of Stalled warps keyed by their wake
+// cycle, both updated at the moments warp state actually changes — issue,
+// scoreboard stall, stallUntil expiry, barrier arrival and release, and
+// warp finish. The scheduler then consults only the ready set, and the
+// idle fast-forward reads the next wake straight off the heap top.
+//
+// Invariants (event mode, i.e. sc.scan == false):
+//   - a warp's state is warpReady  ⇔ its slot bit is set in readyMask
+//   - a warp's state is warpStalled ⇔ it has exactly one wakeHeap entry,
+//     keyed by its current stallUntil (stallUntil never changes while
+//     Stalled, so entries are never stale)
+//   - warpAtBarrier / warpFinished warps appear in neither structure.
+//
+// Under the legacy ScanScheduler knob the same state transitions run but
+// the mask and heap are not maintained; readiness is rederived each cycle
+// by scanning (see scanReady in sched.go).
+
+// warpState is the scheduling lifecycle state of a simWarp.
+type warpState uint8
+
+const (
+	// warpReady: offerable to the scheduler — not finished, not at a
+	// barrier, stallUntil expired (a busy unit can still block issue).
+	warpReady warpState = iota
+	// warpStalled: waiting for a known cycle (scoreboard hazard or the
+	// post-release barrier latency); parked in the sub-core's wake heap.
+	warpStalled
+	// warpAtBarrier: waiting for the CTA barrier; only a release wakes it.
+	warpAtBarrier
+	// warpFinished: executed exit or ran out of instructions.
+	warpFinished
+)
+
+type simCTA struct {
+	env       *ptx.Env
+	warps     []*simWarp
+	live      int
+	atBarrier int
+}
+
+type simWarp struct {
+	warp       *ptx.Warp
+	cta        *simCTA
+	sc         *subcore
+	slot       int // index in sc.warps, maintained across compaction
+	state      warpState
+	regReady   []uint64
+	stallUntil uint64
+	lastIssue  uint64
+	// tlActive marks membership in the TwoLevel policy's active subset.
+	tlActive bool
+}
+
+type subcore struct {
+	warps   []*simWarp
+	tcFree  uint64
+	aluFree uint64
+	sfuFree uint64
+	greedy  int // index of the warp GTO sticks with; LRR/TwoLevel rotation anchor
+	// nextWake mirrors sm.nextWake at sub-core granularity: while the
+	// clock is below it this sub-core's scheduler is skipped.
+	// pendingWake collects barrier releases that re-arm this sub-core's
+	// warps while its own scan is in flight.
+	nextWake    uint64
+	pendingWake uint64
+
+	policy schedPolicy
+	// scan selects the legacy full-scan path (the ScanScheduler knob);
+	// the ready mask and wake heap are not maintained when set.
+	scan bool
+	// tlCap is the TwoLevel active-subset size; tlActive its population.
+	tlCap    int
+	tlActive int
+
+	readyMask []uint64    // bit per warp slot: state == warpReady
+	wakeHeap  []wakeEntry // min-heap over Stalled warps' stallUntil
+	readyBuf  []int       // scratch: ready slots, ascending
+	orderBuf  []int       // scratch: policy issue order
+	keyBuf    []uint64    // scratch: GTO's packed sort keys
+}
+
+// wakeEntry parks one Stalled warp in the sub-core's wake min-heap.
+type wakeEntry struct {
+	at uint64
+	w  *simWarp
+}
+
+// reset clears all per-run state, keeping allocated capacity.
+func (sc *subcore) reset() {
+	sc.warps = sc.warps[:0]
+	sc.tcFree, sc.aluFree, sc.sfuFree, sc.greedy = 0, 0, 0, 0
+	sc.nextWake, sc.pendingWake = 0, math.MaxUint64
+	sc.tlActive = 0
+	for i := range sc.readyMask {
+		sc.readyMask[i] = 0
+	}
+	sc.wakeHeap = sc.wakeHeap[:0]
+}
+
+func (sc *subcore) setBit(slot int)   { sc.readyMask[slot>>6] |= 1 << (slot & 63) }
+func (sc *subcore) clearBit(slot int) { sc.readyMask[slot>>6] &^= 1 << (slot & 63) }
+
+// enqueue adds a newly dispatched warp to the sub-core's pool. The warp's
+// state must already be set (Ready, or Finished for warps that exited
+// during initialization).
+func (sc *subcore) enqueue(w *simWarp) {
+	w.slot = len(sc.warps)
+	sc.warps = append(sc.warps, w)
+	for len(sc.readyMask)*64 <= w.slot {
+		sc.readyMask = append(sc.readyMask, 0)
+	}
+	if w.state == warpReady && !sc.scan {
+		sc.setBit(w.slot)
+	}
+}
+
+// setReady wakes a Stalled warp whose stallUntil expired (event mode
+// only; the warp was just popped off the wake heap).
+func (sc *subcore) setReady(w *simWarp) {
+	w.state = warpReady
+	sc.setBit(w.slot)
+}
+
+// stall moves a Ready warp to Stalled until the given cycle.
+func (sc *subcore) stall(w *simWarp, until uint64) {
+	w.stallUntil = until
+	w.state = warpStalled
+	if !sc.scan {
+		sc.clearBit(w.slot)
+		sc.heapPush(until, w)
+	}
+}
+
+// toBarrier parks a Ready warp at its CTA barrier.
+func (sc *subcore) toBarrier(w *simWarp) {
+	w.state = warpAtBarrier
+	if !sc.scan {
+		sc.clearBit(w.slot)
+	}
+}
+
+// release re-arms a warp waiting at a barrier: AtBarrier → Stalled until
+// the post-release latency expires.
+func (sc *subcore) release(w *simWarp, until uint64) {
+	w.stallUntil = until
+	w.state = warpStalled
+	if !sc.scan {
+		sc.heapPush(until, w)
+	}
+}
+
+// finish retires a Ready warp (exit, or no instructions left).
+func (sc *subcore) finish(w *simWarp) {
+	sc.policy.retired(sc, w)
+	w.state = warpFinished
+	if !sc.scan {
+		sc.clearBit(w.slot)
+	}
+}
+
+// drainWake moves every Stalled warp whose wake cycle has arrived back to
+// the ready set.
+func (sc *subcore) drainWake(now uint64) {
+	for len(sc.wakeHeap) > 0 && sc.wakeHeap[0].at <= now {
+		sc.setReady(sc.heapPop().w)
+	}
+}
+
+// heapTop returns the earliest Stalled wake cycle, MaxUint64 when none.
+func (sc *subcore) heapTop() uint64 {
+	if len(sc.wakeHeap) == 0 {
+		return math.MaxUint64
+	}
+	return sc.wakeHeap[0].at
+}
+
+func (sc *subcore) heapPush(at uint64, w *simWarp) {
+	h := append(sc.wakeHeap, wakeEntry{at, w})
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p].at <= h[i].at {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	sc.wakeHeap = h
+}
+
+func (sc *subcore) heapPop() wakeEntry {
+	h := sc.wakeHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r].at < h[l].at {
+			l = r
+		}
+		if h[i].at <= h[l].at {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	sc.wakeHeap = h
+	return top
+}
+
+// readySlots lists the ready warps' slots in ascending order.
+func (sc *subcore) readySlots() []int {
+	buf := sc.readyBuf[:0]
+	for wi, word := range sc.readyMask {
+		for word != 0 {
+			buf = append(buf, wi*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	sc.readyBuf = buf
+	return buf
+}
+
+// removeFinished compacts the warp pool after a CTA retires, reassigning
+// slots and rebuilding the ready mask (heap entries hold pointers and
+// survive compaction; Finished warps are never in the heap).
+func (sc *subcore) removeFinished() {
+	kept := sc.warps[:0]
+	for _, w := range sc.warps {
+		if w.state == warpFinished {
+			continue
+		}
+		w.slot = len(kept)
+		kept = append(kept, w)
+	}
+	sc.warps = kept
+	if sc.greedy >= len(sc.warps) {
+		sc.greedy = 0
+	}
+	if sc.scan {
+		return
+	}
+	for i := range sc.readyMask {
+		sc.readyMask[i] = 0
+	}
+	for _, w := range kept {
+		if w.state == warpReady {
+			sc.setBit(w.slot)
+		}
+	}
+}
+
+// issuable reports whether the warp can be offered to the scheduler at
+// the given cycle. It is mode-independent: it derives readiness from the
+// state and stallUntil rather than the (event-mode-only) ready mask, so
+// policy decisions based on it are identical under both the event-driven
+// and the legacy scan paths.
+func (w *simWarp) issuable(now uint64) bool {
+	return w.state != warpFinished && w.state != warpAtBarrier && w.stallUntil <= now
+}
+
+// operandsReady checks the scoreboard for RAW and WAW hazards, on the
+// decoded instruction's precomputed register list.
+func (w *simWarp) operandsReady(in *ptx.DInstr, now uint64) (bool, uint64) {
+	latest := uint64(0)
+	for _, id := range in.ScoreboardRegs() {
+		if t := w.regReady[id]; t > latest {
+			latest = t
+		}
+	}
+	if latest > now {
+		return false, latest
+	}
+	return true, now
+}

@@ -55,8 +55,9 @@ type DInstr struct {
 	Class DClass
 
 	alu    aluKind
-	cmp    CmpOp  // comparison operator (setp)
-	mask   uint64 // destination truncation mask for integer/bitwise ops
+	shape  srcShape // two-source operand shape for the dBin fast paths
+	cmp    CmpOp    // comparison operator (setp)
+	mask   uint64   // destination truncation mask for integer/bitwise ops
 	cvtFn  func(uint64) uint64
 	dstID  int32 // first destination register, -1 if none
 	predID int32 // guard predicate register, -1 = unguarded
@@ -116,6 +117,14 @@ func decodeInstr(k *Kernel, in *Instr, d *DInstr) {
 	d.srcs = make([]srcOp, len(in.Src))
 	for i, o := range in.Src {
 		d.srcs[i] = srcOp{kind: o.Kind, reg: int32(o.Reg.ID), sreg: o.SReg, imm: o.Imm}
+	}
+	if len(d.srcs) == 2 {
+		switch {
+		case d.srcs[0].kind == OperandReg && d.srcs[1].kind == OperandReg:
+			d.shape = srcRR
+		case d.srcs[0].kind == OperandReg && d.srcs[1].kind == OperandImm:
+			d.shape = srcRI
+		}
 	}
 	d.dsts = make([]int32, len(in.Dst))
 	for i, r := range in.Dst {
@@ -545,17 +554,49 @@ func dMov(w *Warp, d *DInstr) error {
 	return nil
 }
 
+// srcShape classifies a two-source instruction's operand kinds at decode
+// time so the hot executors can index the register file directly instead
+// of re-dispatching on operand kind per lane per source.
+type srcShape uint8
+
+const (
+	srcGen srcShape = iota // anything involving special registers, or <2 sources
+	srcRR                  // register, register
+	srcRI                  // register, immediate
+)
+
 // dBin runs a warp-wide two-source ALU op; f replicates the interpreted
-// arithmetic exactly (including destination truncation).
+// arithmetic exactly (including destination truncation). The dominant
+// operand shapes — reg-reg and reg-imm, classified at decode time — skip
+// the per-lane indirect operand resolution of val entirely.
 func dBin(w *Warp, d *DInstr, f func(x, y uint64) uint64) {
 	nr := w.Kernel.NumRegs
 	a, b := &d.srcs[0], &d.srcs[1]
 	dst := int(d.dstID)
-	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-		if !d.laneOn(w, base, lane) {
-			continue
+	switch d.shape {
+	case srcRR:
+		ra, rb := int(a.reg), int(b.reg)
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !d.laneOn(w, base, lane) {
+				continue
+			}
+			w.regs[base+dst] = f(w.regs[base+ra], w.regs[base+rb])
 		}
-		w.regs[base+dst] = f(d.val(w, base, lane, a), d.val(w, base, lane, b))
+	case srcRI:
+		ra, imm := int(a.reg), b.imm
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !d.laneOn(w, base, lane) {
+				continue
+			}
+			w.regs[base+dst] = f(w.regs[base+ra], imm)
+		}
+	default:
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !d.laneOn(w, base, lane) {
+				continue
+			}
+			w.regs[base+dst] = f(d.val(w, base, lane, a), d.val(w, base, lane, b))
+		}
 	}
 }
 

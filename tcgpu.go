@@ -12,7 +12,11 @@
 //     (internal/tcore, internal/sass);
 //   - a PTX-subset IR with builder and executor (internal/ptx);
 //   - the cycle-level SM/memory simulator (internal/gpu, internal/mem)
-//     and CUDA-like runtime (internal/cuda);
+//     and CUDA-like runtime (internal/cuda); warp scheduling is
+//     event-driven (per-sub-core ready sets plus a wake-time heap, so
+//     stalled warps are never rescanned) with pluggable policies —
+//     greedy-then-oldest, loose round-robin and two-level — selected by
+//     GPUConfig.Scheduler;
 //   - GEMM kernels and a CUTLASS-style generator (internal/kernels,
 //     internal/cutlass);
 //   - the experiment registry regenerating every paper table and figure
@@ -72,7 +76,26 @@ type (
 	ExperimentTable = experiments.Table
 	// TilePolicy is a CUTLASS-style threadblock/warp tiling.
 	TilePolicy = cutlass.TilePolicy
+	// SchedulerPolicy selects the warp scheduler of GPUConfig.Scheduler.
+	SchedulerPolicy = gpu.SchedulerPolicy
 )
+
+// Warp scheduling policies for GPUConfig.Scheduler.
+const (
+	// SchedGTO is greedy-then-oldest, the hardware default.
+	SchedGTO = gpu.GTO
+	// SchedLRR is loose round-robin.
+	SchedLRR = gpu.LRR
+	// SchedTwoLevel is two-level scheduling: a small active subset issues
+	// while a pending pool hides long latencies.
+	SchedTwoLevel = gpu.TwoLevel
+)
+
+// ParseSchedulerPolicy maps the CLI spelling ("gto", "lrr", "twolevel")
+// to a SchedulerPolicy.
+func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) {
+	return gpu.ParseSchedulerPolicy(s)
+}
 
 // GemmKind selects the datapath of RunGEMM.
 type GemmKind int
@@ -208,6 +231,9 @@ func Experiments() []Experiment { return experiments.All() }
 // across opt.Workers goroutines (0 = one per CPU); the table is identical
 // whatever the worker count.
 func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	e, err := experiments.ByID(id)
 	if err != nil {
 		return nil, err
@@ -223,6 +249,9 @@ func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
 // returned in registry order, and the returned error aggregates the
 // failures (nil when all succeed).
 func RunAllExperiments(opt ExperimentOptions) ([]*ExperimentTable, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	results := experiments.RunAll(experiments.All(), opt, nil)
 	var out []*ExperimentTable
 	for _, r := range results {

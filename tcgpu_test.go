@@ -59,8 +59,8 @@ func TestRunCutlassGEMM(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(exps))
+	if len(exps) != 16 { // 15 paper artifacts + the scheduler sweep
+		t.Fatalf("registry has %d experiments, want 16", len(exps))
 	}
 	tb, err := RunExperiment("tab2", ExperimentOptions{Quick: true})
 	if err != nil {
@@ -91,4 +91,18 @@ func newFilled(rows, cols int, v float64) *Matrix {
 	m := NewMatrix(rows, cols)
 	m.FillConst(v)
 	return m
+}
+
+// A misspelled scheduler override must be rejected upfront by the
+// library entry points — even for experiments that never simulate.
+func TestExperimentOptionsValidated(t *testing.T) {
+	if _, err := RunExperiment("tab2", ExperimentOptions{Quick: true, Scheduler: "fifo"}); err == nil {
+		t.Error("RunExperiment should reject an unknown scheduler")
+	}
+	if _, err := RunAllExperiments(ExperimentOptions{Quick: true, Scheduler: "fifo"}); err == nil {
+		t.Error("RunAllExperiments should reject an unknown scheduler")
+	}
+	if _, err := RunExperiment("tab2", ExperimentOptions{Quick: true, Scheduler: "lrr"}); err != nil {
+		t.Errorf("valid scheduler rejected: %v", err)
+	}
 }
