@@ -265,6 +265,52 @@ func BenchmarkAblationDecodedALU(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBatchedMem quantifies the batched struct-of-arrays
+// memory pipeline (ptx.LegacyAccessPath; DESIGN.md "Batched memory
+// path") on the two memory-staging SIMT GEMMs whose per-lane load/store
+// execution and conflict counting dominated the fig17 profile.
+func BenchmarkAblationBatchedMem(b *testing.B) {
+	workloads := []struct {
+		name  string
+		build func() (*kernels.Launch, error)
+	}{
+		{"sgemm", func() (*kernels.Launch, error) { return kernels.SGEMMSimt(128, 128, 128) }},
+		{"hgemm", func() (*kernels.Launch, error) { return kernels.HGEMMSimt(64, 128, 128) }},
+	}
+	for _, w := range workloads {
+		for _, legacy := range []bool{false, true} {
+			legacy := legacy
+			name := w.name + "/batched"
+			if legacy {
+				name = w.name + "/legacy"
+			}
+			b.Run(name, func(b *testing.B) {
+				ptx.LegacyAccessPath(legacy)
+				defer ptx.LegacyAccessPath(false)
+				for i := 0; i < b.N; i++ {
+					l, err := w.build()
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := gpu.TitanV()
+					cfg.NumSMs = 2
+					sim, err := gpu.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sim.Run(gpu.LaunchSpec{
+						Kernel: l.Kernel, Grid: l.Grid, Block: l.Block,
+						Args:   []uint64{0, 1 << 20, 2 << 20, 3 << 20},
+						Global: ptx.NewFlatMemory(4 << 20),
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationReadySet quantifies the event-driven ready-set
 // scheduler against the legacy per-cycle full scan (the gpu.ScanScheduler
 // knob; DESIGN.md). Two workloads: the fig17 quick grid — whose profile

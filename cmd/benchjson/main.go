@@ -1,0 +1,152 @@
+// Command benchjson serializes `go test -bench` output into a
+// benchmark-trajectory JSON artifact, so CI can archive one machine-
+// readable file per run and successive BENCH_<n>.json files chart how
+// the suite's numbers move across PRs.
+//
+// Usage:
+//
+//	go test -run xxx -bench Ablation -benchtime 1x -benchmem . | benchjson
+//	go test -bench . -benchmem . | benchjson -out BENCH_5.json
+//
+// Without -out the next free BENCH_<n>.json in the working directory is
+// chosen. Lines that are not benchmark results (headers, PASS/ok) are
+// ignored, so the raw `go test` stream pipes straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (cycles, gto_ipc, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the serialized artifact.
+type File struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse consumes a `go test -bench` stream.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			f.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			f.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			f.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			f.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				b := v
+				res.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				res.AllocsPerOp = &a
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// nextBenchFile picks BENCH_<n>.json with n one past the largest present.
+func nextBenchFile(dir string) string {
+	n := 0
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		if v, err := strconv.Atoi(base); err == nil && v > n {
+			n = v
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n+1))
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default: next free BENCH_<n>.json)")
+	flag.Parse()
+
+	f, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = nextBenchFile(".")
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), path)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAblationBatchedMem/sgemm/batched         	       1	  47647113 ns/op	 1204 B/op	      11 allocs/op
+BenchmarkAblationBatchedMem/sgemm/legacy          	       1	  53800357 ns/op	 1188 B/op	      11 allocs/op
+BenchmarkAblationScheduler/gto-8                  	       2	   1234567 ns/op	     51193 cycles
+PASS
+ok  	repro	0.137s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GoOS != "linux" || f.GoArch != "amd64" || f.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q", f.GoOS, f.GoArch, f.Pkg)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	b0 := f.Benchmarks[0]
+	if b0.Name != "BenchmarkAblationBatchedMem/sgemm/batched" || b0.Iterations != 1 {
+		t.Errorf("b0 = %+v", b0)
+	}
+	if b0.NsPerOp != 47647113 {
+		t.Errorf("b0.NsPerOp = %v", b0.NsPerOp)
+	}
+	if b0.BytesPerOp == nil || *b0.BytesPerOp != 1204 || b0.AllocsPerOp == nil || *b0.AllocsPerOp != 11 {
+		t.Errorf("b0 memstats = %v %v", b0.BytesPerOp, b0.AllocsPerOp)
+	}
+	b2 := f.Benchmarks[2]
+	if b2.Metrics["cycles"] != 51193 {
+		t.Errorf("custom metric lost: %+v", b2.Metrics)
+	}
+	if b2.BytesPerOp != nil {
+		t.Error("b2 has bytes_per_op without -benchmem fields")
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	f, err := Parse(strings.NewReader("random text\nBenchmarkBroken 12\nok repro 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(f.Benchmarks))
+	}
+}
+
+func TestNextBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	if got, want := nextBenchFile(dir), filepath.Join(dir, "BENCH_1.json"); got != want {
+		t.Errorf("empty dir: %q, want %q", got, want)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_4.json", "BENCH_x.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := nextBenchFile(dir), filepath.Join(dir, "BENCH_5.json"); got != want {
+		t.Errorf("populated dir: %q, want %q", got, want)
+	}
+}

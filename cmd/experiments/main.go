@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -53,40 +55,74 @@ func validateFlags(sms, workers int, sched string) error {
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with a normal return path, so the pprof writers'
+// defers run before the process exits (os.Exit skips defers).
+func run() int {
 	list := flag.Bool("list", false, "list available experiments")
-	run := flag.String("run", "", "experiment id to run, or 'all'")
+	runID := flag.String("run", "", "experiment id to run, or 'all'")
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	sms := flag.Int("sms", 0, "override simulated SM count (chip-slice scaling)")
 	sched := flag.String("sched", "", "override warp scheduler for every experiment: gto | lrr | twolevel (default: per-experiment; the sched sweep ignores it)")
 	workers := flag.Int("workers", 0, "global worker-pool budget shared by all experiments' data points (0 = one per CPU, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (hot-spot hunts: go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if err := validateFlags(*sms, *workers, *sched); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
-	if *list || *run == "" {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			return 2
+		}
+		defer func() {
+			runtime.GC() // up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+
+	if *list || *runID == "" {
 		fmt.Println("available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-8s %-11s %s\n", e.ID, e.Paper, e.Title)
 		}
-		if *run == "" && !*list {
+		if *runID == "" && !*list {
 			fmt.Println("\nuse -run <id> or -run all")
 		}
-		return
+		return 0
 	}
 
 	opt := experiments.Options{Quick: *quick, SMs: *sms, Workers: *workers, Scheduler: *sched}
 	var todo []experiments.Experiment
-	if *run == "all" {
+	if *runID == "all" {
 		todo = experiments.All()
 	} else {
-		e, err := experiments.ByID(*run)
+		e, err := experiments.ByID(*runID)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		todo = []experiments.Experiment{e}
 	}
@@ -109,6 +145,7 @@ func main() {
 		for _, r := range failed {
 			fmt.Fprintf(os.Stderr, "  %-8s %v\n", r.Experiment.ID, r.Err)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -118,7 +118,11 @@ type sm struct {
 	// rescanning every scheduler. It resets to the next cycle whenever the
 	// SM issues or receives a new CTA.
 	nextWake uint64
-	// Reusable per-instruction request buffers for accessMemory.
+	// Reusable per-instruction request buffers for accessMemory: the
+	// batched vector groups (default) and the per-lane request slices of
+	// the legacy access path.
+	sharedVecs []mem.AddrVec
+	globalVecs []mem.AddrVec
 	sharedReqs []mem.Request
 	globalReqs []mem.Request
 	// releaseWake collects barrier wake-ups triggered while this step's
@@ -380,8 +384,8 @@ func (m *sm) finishWarp(w *simWarp, now uint64) {
 // issue executes the instruction functionally and charges its timing.
 func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.DInstr, now uint64, st *Stats) error {
 	cfg := m.sim.cfg
-	res, err := w.warp.Step()
-	if err != nil {
+	var res ptx.Result
+	if err := w.warp.StepInto(&res); err != nil {
 		return err
 	}
 	st.WarpInstructions++
@@ -404,9 +408,9 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.DInstr, now uint64, st *Stat
 		sc.sfuFree = now + uint64(cfg.SFUII)
 		done += uint64(cfg.SFULatency)
 	case ptx.DClassLd, ptx.DClassSt:
-		done = m.accessMemory(res, now) + uint64(cfg.IssueLatency)
+		done = m.accessMemory(&res, now) + uint64(cfg.IssueLatency)
 	case ptx.DClassWmmaLoad, ptx.DClassWmmaStore:
-		done = m.accessMemory(res, now) + uint64(cfg.IssueLatency+cfg.WmmaMemOverhead)
+		done = m.accessMemory(&res, now) + uint64(cfg.IssueLatency+cfg.WmmaMemOverhead)
 		if st.Trace != nil {
 			lat := float64(done - now)
 			if in.Class == ptx.DClassWmmaLoad {
@@ -444,8 +448,36 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.DInstr, now uint64, st *Stat
 	return nil
 }
 
-// accessMemory routes an instruction's accesses through the SM port.
-func (m *sm) accessMemory(res ptx.Result, now uint64) uint64 {
+// accessMemory routes an instruction's accesses through the SM port. The
+// batched path hands the executor's address vectors to the memory system
+// directly (mem.AddrVec aliases each group's address array — no per-lane
+// copy); the legacy path re-materializes per-lane request slices.
+func (m *sm) accessMemory(res *ptx.Result, now uint64) uint64 {
+	if len(res.Batch) > 0 {
+		shared, global := m.sharedVecs[:0], m.globalVecs[:0]
+		for i := range res.Batch {
+			g := &res.Batch[i]
+			v := mem.AddrVec{Addr: &g.Addr, Mask: g.Mask, Bits: g.Bits, Store: g.Store}
+			if g.Space == ptx.Shared {
+				shared = append(shared, v)
+			} else {
+				global = append(global, v)
+			}
+		}
+		m.sharedVecs, m.globalVecs = shared[:0], global[:0]
+		done := now
+		if len(shared) > 0 {
+			if t := m.port.AccessSharedVecs(now, shared); t > done {
+				done = t
+			}
+		}
+		if len(global) > 0 {
+			if t := m.port.AccessGlobalVecs(now, global); t > done {
+				done = t
+			}
+		}
+		return done
+	}
 	shared, global := m.sharedReqs[:0], m.globalReqs[:0]
 	for _, a := range res.Accesses {
 		r := mem.Request{Addr: a.Addr, Bits: a.Bits, Store: a.Store}

@@ -92,11 +92,15 @@ type SMPort struct {
 	lsuFree    uint64
 	sharedFree uint64
 
-	// Reusable per-instruction scratch: coalesced sector list and the
-	// shared-memory bank conflict counter. An SMPort belongs to exactly
-	// one SM of one Simulator, so the scratch is never shared.
-	sectors []uint64
-	banks   bankScratch
+	// Reusable per-instruction scratch: coalesced sector list, the
+	// shared-memory bank conflict counters (per-lane lists and the
+	// batched pass simulation), and the batched coalescer's dedup set. An
+	// SMPort belongs to exactly one SM of one Simulator, so the scratch
+	// is never shared.
+	sectors  []uint64
+	banks    bankScratch
+	conflict conflictScratch
+	secSet   sectorSet
 
 	L1Hits, L1Misses   uint64
 	GlobalTransactions uint64
@@ -120,12 +124,23 @@ func (s *System) NewSMPort() *SMPort {
 // (stores, which retire once handed to the LSU — the L2/DRAM traversal
 // still consumes downstream bandwidth but the warp does not wait on it).
 func (p *SMPort) AccessGlobal(now uint64, reqs []Request) uint64 {
+	p.sectors = coalesceInto(p.sectors[:0], p.sys.cfg, reqs)
+	return p.globalTiming(now, len(reqs) > 0 && reqs[0].Store)
+}
+
+// AccessGlobalVecs is AccessGlobal for batched warp access groups: same
+// LSU/L1/L2 timing over the sector list of the vectorized coalescer.
+func (p *SMPort) AccessGlobalVecs(now uint64, vecs []AddrVec) uint64 {
+	p.sectors = coalesceVecsInto(p.sectors[:0], &p.secSet, p.sys.cfg, vecs)
+	return p.globalTiming(now, len(vecs) > 0 && vecs[0].Store)
+}
+
+// globalTiming issues the coalesced sectors in p.sectors through the LSU
+// and memory hierarchy, returning the completion cycle.
+func (p *SMPort) globalTiming(now uint64, store bool) uint64 {
 	cfg := p.sys.cfg
-	p.sectors = coalesceInto(p.sectors[:0], cfg, reqs)
-	sectors := p.sectors
-	store := len(reqs) > 0 && reqs[0].Store
 	done := now
-	for _, sec := range sectors {
+	for _, sec := range p.sectors {
 		p.GlobalTransactions++
 		// LSU issues one transaction per cycle.
 		issue := now
@@ -158,8 +173,17 @@ func (p *SMPort) AccessGlobal(now uint64, reqs []Request) uint64 {
 // AccessShared serves one warp instruction's shared-memory accesses,
 // serializing bank conflicts.
 func (p *SMPort) AccessShared(now uint64, reqs []Request) uint64 {
+	return p.sharedTiming(now, sharedConflictPasses(&p.banks, p.sys.cfg, reqs))
+}
+
+// AccessSharedVecs is AccessShared for batched warp access groups.
+func (p *SMPort) AccessSharedVecs(now uint64, vecs []AddrVec) uint64 {
+	return p.sharedTiming(now, sharedConflictPassesVecs(&p.conflict, &p.banks, p.sys.cfg, vecs))
+}
+
+// sharedTiming charges one shared-memory access of the given pass count.
+func (p *SMPort) sharedTiming(now uint64, passes int) uint64 {
 	cfg := p.sys.cfg
-	passes := sharedConflictPasses(&p.banks, cfg, reqs)
 	p.SharedAccesses++
 	p.SharedConflicts += uint64(passes - 1)
 	issue := now

@@ -71,6 +71,13 @@ type DInstr struct {
 	words    int32 // ld/st 32-bit word count
 	fragA    int32 // wmma.mma A-fragment length
 	fragB    int32 // wmma.mma B-fragment length
+
+	// ld/st address-shape classification for the batched access path:
+	// the static state space (Generic resolves per execution) and the
+	// address register when the base operand is a plain register
+	// (-1 for immediate or special-register bases).
+	space   Space
+	addrReg int32
 }
 
 // ScoreboardRegs returns the deduplicated register IDs the instruction
@@ -118,12 +125,17 @@ func decodeInstr(k *Kernel, in *Instr, d *DInstr) {
 	for i, o := range in.Src {
 		d.srcs[i] = srcOp{kind: o.Kind, reg: int32(o.Reg.ID), sreg: o.SReg, imm: o.Imm}
 	}
-	if len(d.srcs) == 2 {
+	switch len(d.srcs) {
+	case 2:
 		switch {
 		case d.srcs[0].kind == OperandReg && d.srcs[1].kind == OperandReg:
 			d.shape = srcRR
 		case d.srcs[0].kind == OperandReg && d.srcs[1].kind == OperandImm:
 			d.shape = srcRI
+		}
+	case 3:
+		if d.srcs[0].kind == OperandReg && d.srcs[1].kind == OperandReg && d.srcs[2].kind == OperandReg {
+			d.shape = srcRRR
 		}
 	}
 	d.dsts = make([]int32, len(in.Dst))
@@ -144,6 +156,11 @@ func decodeInstr(k *Kernel, in *Instr, d *DInstr) {
 			w = 1
 		}
 		d.words = w
+		d.space = in.Space
+		d.addrReg = -1
+		if len(in.Src) > 0 && in.Src[0].Kind == OperandReg {
+			d.addrReg = int32(in.Src[0].Reg.ID)
+		}
 	case OpWmmaLoad, OpWmmaStore:
 		d.membytes = int32(cuda4BitBytes(in.WMap.Elem))
 	case OpWmmaMMA:
@@ -563,6 +580,7 @@ const (
 	srcGen srcShape = iota // anything involving special registers, or <2 sources
 	srcRR                  // register, register
 	srcRI                  // register, immediate
+	srcRRR                 // register, register, register (mad)
 )
 
 // dBin runs a warp-wide two-source ALU op; f replicates the interpreted
@@ -573,9 +591,16 @@ func dBin(w *Warp, d *DInstr, f func(x, y uint64) uint64) {
 	nr := w.Kernel.NumRegs
 	a, b := &d.srcs[0], &d.srcs[1]
 	dst := int(d.dstID)
+	full := d.predID < 0 && w.nLanes == 32 // no per-lane guard needed
 	switch d.shape {
 	case srcRR:
 		ra, rb := int(a.reg), int(b.reg)
+		if full {
+			for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+				w.regs[base+dst] = f(w.regs[base+ra], w.regs[base+rb])
+			}
+			return
+		}
 		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
 			if !d.laneOn(w, base, lane) {
 				continue
@@ -584,6 +609,12 @@ func dBin(w *Warp, d *DInstr, f func(x, y uint64) uint64) {
 		}
 	case srcRI:
 		ra, imm := int(a.reg), b.imm
+		if full {
+			for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+				w.regs[base+dst] = f(w.regs[base+ra], imm)
+			}
+			return
+		}
 		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
 			if !d.laneOn(w, base, lane) {
 				continue
@@ -600,76 +631,111 @@ func dBin(w *Warp, d *DInstr, f func(x, y uint64) uint64) {
 	}
 }
 
-func dMadU32(w *Warp, d *DInstr) error {
+// dTern runs a warp-wide three-source ALU op; f replicates the
+// interpreted arithmetic exactly. The dominant operand shape — three
+// registers, classified at decode time (srcRRR) — indexes the register
+// file directly, which matters most for the mad executors at the core of
+// every GEMM inner loop.
+func dTern(w *Warp, d *DInstr, f func(x, y, z uint64) uint64) {
 	nr := w.Kernel.NumRegs
 	a, b, c := &d.srcs[0], &d.srcs[1], &d.srcs[2]
 	dst := int(d.dstID)
+	if d.shape == srcRRR {
+		ra, rb, rc := int(a.reg), int(b.reg), int(c.reg)
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			if !d.laneOn(w, base, lane) {
+				continue
+			}
+			w.regs[base+dst] = f(w.regs[base+ra], w.regs[base+rb], w.regs[base+rc])
+		}
+		return
+	}
 	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
 		if !d.laneOn(w, base, lane) {
 			continue
 		}
-		av, bv, cv := d.val(w, base, lane, a), d.val(w, base, lane, b), d.val(w, base, lane, c)
-		w.regs[base+dst] = (av*bv + cv) & 0xffffffff
+		w.regs[base+dst] = f(d.val(w, base, lane, a), d.val(w, base, lane, b), d.val(w, base, lane, c))
 	}
+}
+
+func dMadU32(w *Warp, d *DInstr) error {
+	dTern(w, d, func(x, y, z uint64) uint64 { return (x*y + z) & 0xffffffff })
 	return nil
 }
 
 func dMadS32(w *Warp, d *DInstr) error {
-	nr := w.Kernel.NumRegs
-	a, b, c := &d.srcs[0], &d.srcs[1], &d.srcs[2]
-	dst := int(d.dstID)
-	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-		if !d.laneOn(w, base, lane) {
-			continue
-		}
-		av, bv, cv := d.val(w, base, lane, a), d.val(w, base, lane, b), d.val(w, base, lane, c)
-		w.regs[base+dst] = uint64(uint32(int32(uint32(av))*int32(uint32(bv)) + int32(uint32(cv))))
-	}
+	dTern(w, d, func(x, y, z uint64) uint64 {
+		return uint64(uint32(int32(uint32(x))*int32(uint32(y)) + int32(uint32(z))))
+	})
 	return nil
 }
 
 func dMadU64(w *Warp, d *DInstr) error {
-	nr := w.Kernel.NumRegs
-	a, b, c := &d.srcs[0], &d.srcs[1], &d.srcs[2]
-	dst := int(d.dstID)
-	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
-		if !d.laneOn(w, base, lane) {
-			continue
-		}
-		w.regs[base+dst] = d.val(w, base, lane, a)*d.val(w, base, lane, b) + d.val(w, base, lane, c)
-	}
+	dTern(w, d, func(x, y, z uint64) uint64 { return x*y + z })
 	return nil
 }
 
+// dMadF32 and dMadF16X2 — the inner-loop instruction of the FP32 and
+// packed-half SIMT GEMMs — get fully specialized loops: direct register
+// indexing for the srcRRR shape and no per-lane guard when the warp is
+// fully active and unguarded, with math.FMA compiling to the hardware
+// fused multiply-add.
 func dMadF32(w *Warp, d *DInstr) error {
+	if d.shape != srcRRR {
+		dTern(w, d, func(x, y, z uint64) uint64 {
+			return bitsF32(float32(math.FMA(float64(f32bits(x)), float64(f32bits(y)), float64(f32bits(z)))))
+		})
+		return nil
+	}
 	nr := w.Kernel.NumRegs
-	a, b, c := &d.srcs[0], &d.srcs[1], &d.srcs[2]
+	ra, rb, rc := int(d.srcs[0].reg), int(d.srcs[1].reg), int(d.srcs[2].reg)
 	dst := int(d.dstID)
+	if d.predID < 0 && w.nLanes == 32 {
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			x, y, z := w.regs[base+ra], w.regs[base+rb], w.regs[base+rc]
+			// fma.rn.f32: a single rounding.
+			w.regs[base+dst] = bitsF32(float32(math.FMA(float64(f32bits(x)), float64(f32bits(y)), float64(f32bits(z)))))
+		}
+		return nil
+	}
 	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
 		if !d.laneOn(w, base, lane) {
 			continue
 		}
-		av, bv, cv := d.val(w, base, lane, a), d.val(w, base, lane, b), d.val(w, base, lane, c)
-		// fma.rn.f32: a single rounding.
-		w.regs[base+dst] = bitsF32(float32(math.FMA(float64(f32bits(av)), float64(f32bits(bv)), float64(f32bits(cv)))))
+		x, y, z := w.regs[base+ra], w.regs[base+rb], w.regs[base+rc]
+		w.regs[base+dst] = bitsF32(float32(math.FMA(float64(f32bits(x)), float64(f32bits(y)), float64(f32bits(z)))))
 	}
 	return nil
 }
 
 func dMadF16X2(w *Warp, d *DInstr) error {
+	if d.shape != srcRRR {
+		dTern(w, d, madF16X2)
+		return nil
+	}
 	nr := w.Kernel.NumRegs
-	a, b, c := &d.srcs[0], &d.srcs[1], &d.srcs[2]
+	ra, rb, rc := int(d.srcs[0].reg), int(d.srcs[1].reg), int(d.srcs[2].reg)
 	dst := int(d.dstID)
+	if d.predID < 0 && w.nLanes == 32 {
+		for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
+			w.regs[base+dst] = madF16X2(w.regs[base+ra], w.regs[base+rb], w.regs[base+rc])
+		}
+		return nil
+	}
 	for lane, base := 0, 0; lane < 32; lane, base = lane+1, base+nr {
 		if !d.laneOn(w, base, lane) {
 			continue
 		}
-		av, bv, cv := d.val(w, base, lane, a), d.val(w, base, lane, b), d.val(w, base, lane, c)
-		lo := bitsH16(fp16.FMA(h16(av&0xffff), h16(bv&0xffff), h16(cv&0xffff)))
-		hi := bitsH16(fp16.FMA(h16(av>>16&0xffff), h16(bv>>16&0xffff), h16(cv>>16&0xffff)))
-		w.regs[base+dst] = hi<<16 | lo
+		w.regs[base+dst] = madF16X2(w.regs[base+ra], w.regs[base+rb], w.regs[base+rc])
 	}
 	return nil
+}
+
+// madF16X2 is one lane's packed-half fused multiply-add.
+func madF16X2(x, y, z uint64) uint64 {
+	lo := bitsH16(fp16.FMA(h16(x&0xffff), h16(y&0xffff), h16(z&0xffff)))
+	hi := bitsH16(fp16.FMA(h16(x>>16&0xffff), h16(y>>16&0xffff), h16(z>>16&0xffff)))
+	return hi<<16 | lo
 }
 
 // dSetp runs a warp-wide integer setp; ord returns the three-way

@@ -89,12 +89,17 @@ type Access struct {
 }
 
 // Result reports the architectural effects of one executed instruction
-// that the timing model needs. Accesses aliases a per-warp scratch buffer:
-// it is valid until the warp's next Step call, which is the synchronous
+// that the timing model needs. Memory accesses arrive on exactly one of
+// two mutually exclusive paths: Batch holds the batched struct-of-arrays
+// groups (the default), Accesses the per-lane legacy form (the
+// LegacyAccessPath knob, plus wmma warps whose lanes disagree on
+// fragment structure). Both alias per-warp scratch buffers: they are
+// valid until the warp's next Step call, which is the synchronous
 // consumption pattern of the timing model.
 type Result struct {
 	Instr    *Instr
 	Accesses []Access
+	Batch    []WarpAccess
 	Barrier  bool
 	Exited   bool
 }
@@ -116,13 +121,23 @@ type Warp struct {
 	// warps of the kernel; see decode.go).
 	prog []DInstr
 
+	// legacy routes this warp through the per-lane access path; sampled
+	// from the LegacyAccessPath knob at construction, like the decoded
+	// ALU dispatch samples InterpretALU at decode time.
+	legacy bool
+
 	// Scratch buffers reused across Step calls so the hot execution path
-	// stays allocation-free: a staging buffer for loads/stores, the
-	// Result.Accesses backing array, and wmma per-lane address lists.
-	membuf  [16]byte
-	accBuf  []Access
-	addrBuf []uint64
-	tiles   [4]*tensor.Matrix // wmma.mma A/B/C/D tile scratch
+	// stays allocation-free: staging buffers for loads/stores (membuf for
+	// one lane, bulk for a whole warp's contiguous runs), the
+	// Result.Accesses and Result.Batch backing arrays, wmma per-lane
+	// address lists, and the wmma piece list of the batched frag path.
+	membuf   [16]byte
+	bulk     [512]byte // 32 lanes × 16 bytes
+	accBuf   []Access
+	batchBuf []WarpAccess
+	addrBuf  []uint64
+	pieceBuf []fragPiece
+	tiles    [4]*tensor.Matrix // wmma.mma A/B/C/D tile scratch
 }
 
 // NLanes returns the number of active lanes (fixed at construction:
@@ -137,6 +152,7 @@ func NewWarp(k *Kernel, env *Env, id int, args []uint64) (*Warp, error) {
 		return nil, fmt.Errorf("ptx: kernel %s takes %d args, got %d", k.Name, len(k.Params), len(args))
 	}
 	w := &Warp{Kernel: k, Env: env, ID: id}
+	w.legacy = legacyAccessPath.Load()
 	w.prog = k.prog
 	if w.prog == nil {
 		// Hand-assembled kernels (no Builder.Build pass) decode a private
@@ -264,82 +280,104 @@ func (w *Warp) PeekD() *DInstr {
 // warp-uniform over enabled lanes (the kernels in this repository use
 // predication for per-lane conditionals); divergent branches are an error.
 func (w *Warp) Step() (Result, error) {
-	res, err := w.step()
-	if cap(res.Accesses) > cap(w.accBuf) {
-		w.accBuf = res.Accesses[:0]
-	}
+	var res Result
+	err := w.StepInto(&res)
 	return res, err
 }
 
-func (w *Warp) step() (Result, error) {
+// StepInto is Step writing into a caller-owned Result, so the hot
+// issue loop moves no Result copies (the struct carries two slice
+// headers and crosses two call boundaries per instruction otherwise).
+// *res is fully overwritten.
+func (w *Warp) StepInto(res *Result) error {
+	err := w.step(res)
+	if cap(res.Accesses) > cap(w.accBuf) {
+		w.accBuf = res.Accesses[:0]
+	}
+	if cap(res.Batch) > cap(w.batchBuf) {
+		w.batchBuf = res.Batch[:0]
+	}
+	return err
+}
+
+func (w *Warp) step(res *Result) error {
 	d := w.PeekD()
 	if d == nil {
 		w.Exited = true
-		return Result{Exited: true}, nil
+		*res = Result{Exited: true}
+		return nil
 	}
 	in := d.In
-	res := Result{Instr: in, Accesses: w.accBuf[:0]}
+	*res = Result{Instr: in, Accesses: w.accBuf[:0], Batch: w.batchBuf[:0]}
 
 	switch d.Class {
 	case DClassBra:
 		taken, uniform := w.branchVote(d)
 		if !uniform {
-			return res, fmt.Errorf("ptx: divergent branch at %d in %s", w.PC, w.Kernel.Name)
+			return fmt.Errorf("ptx: divergent branch at %d in %s", w.PC, w.Kernel.Name)
 		}
 		if taken {
 			if d.target < 0 {
 				_, err := w.Kernel.TargetIndex(in.Target)
-				return res, err
+				return err
 			}
 			w.PC = int(d.target)
-			return res, nil
+			return nil
 		}
 		w.PC++
-		return res, nil
+		return nil
 	case DClassExit:
 		w.Exited = true
 		res.Exited = true
-		return res, nil
+		return nil
 	case DClassBar:
 		w.AtBarrier = true
 		res.Barrier = true
 		w.PC++
-		return res, nil
+		return nil
 	case DClassWmmaLoad:
-		if err := w.execWmmaLoad(d, &res); err != nil {
-			return res, err
+		if err := w.execWmmaLoad(d, res); err != nil {
+			return err
 		}
 		w.PC++
-		return res, nil
+		return nil
 	case DClassWmmaStore:
-		if err := w.execWmmaStore(d, &res); err != nil {
-			return res, err
+		if err := w.execWmmaStore(d, res); err != nil {
+			return err
 		}
 		w.PC++
-		return res, nil
+		return nil
 	case DClassWmmaMMA:
 		if err := w.execWmmaMMA(d); err != nil {
-			return res, err
+			return err
 		}
 		w.PC++
-		return res, nil
+		return nil
 	case DClassLd:
-		w.execLoad(d, &res)
+		if w.legacy {
+			w.execLoad(d, res)
+		} else {
+			w.execLoadBatched(d, res)
+		}
 		w.PC++
-		return res, nil
+		return nil
 	case DClassSt:
-		w.execStore(d, &res)
+		if w.legacy {
+			w.execStore(d, res)
+		} else {
+			w.execStoreBatched(d, res)
+		}
 		w.PC++
-		return res, nil
+		return nil
 	}
 
 	// ALU and SFU classes: direct table-driven dispatch on the decoded
 	// kind; aluGeneric is the per-lane interpreted fallback.
 	if err := aluTable[d.alu](w, d); err != nil {
-		return res, err
+		return err
 	}
 	w.PC++
-	return res, nil
+	return nil
 }
 
 // branchVote evaluates the branch guard across enabled lanes.

@@ -389,7 +389,7 @@ func TestWmmaLoadAccessShapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	perLane := map[int]int{}
-	for _, a := range res.Accesses {
+	for _, a := range res.LaneAccesses() {
 		if a.Bits != 128 {
 			t.Fatalf("access of %d bits, want 128", a.Bits)
 		}

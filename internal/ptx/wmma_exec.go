@@ -41,10 +41,19 @@ func (w *Warp) uniformOperand(d *DInstr, i int) (uint64, error) {
 	return v, nil
 }
 
-// fragAccesses converts one lane's fragment element addresses into the
-// coalesced SASS-level accesses of Section III-C: maximal consecutive runs
-// split into ≤128-bit pieces, appended to dst.
-func fragAccesses(dst []Access, lane int, addrs []uint64, elemBits int, space Space, store bool) []Access {
+// fragPiece is one ≤128-bit piece of a lane's fragment access: the
+// coalesced SASS-level access shape of Section III-C (maximal
+// consecutive element runs split into ≤128-bit pieces). Both the batched
+// and per-lane emitters consume the same piece list, so the two access
+// paths cannot drift apart.
+type fragPiece struct {
+	addr uint64
+	bits int32
+}
+
+// fragPieces computes one lane's pieces into the warp's reusable scratch.
+func (w *Warp) fragPieces(addrs []uint64, elemBits int) []fragPiece {
+	out := w.pieceBuf[:0]
 	i := 0
 	for i < len(addrs) {
 		j := i + 1
@@ -58,13 +67,72 @@ func fragAccesses(dst []Access, lane int, addrs []uint64, elemBits int, space Sp
 			if b > 128 {
 				b = 128
 			}
-			dst = append(dst, Access{Lane: lane, Addr: base, Bits: b, Space: space, Store: store})
+			out = append(out, fragPiece{addr: base, bits: int32(b)})
 			base += uint64(b / 8)
 			bits -= b
 		}
 		i = j
 	}
-	return dst
+	w.pieceBuf = out
+	return out
+}
+
+// fragBatch commits one lane's fragment pieces into the slot-aligned
+// batched groups: piece k of every lane shares group k, which holds the
+// warp's k-th piece addresses as one vector. ok is false — and the batch
+// untouched — when this lane's piece structure (width or resolved space
+// per slot) deviates from the groups earlier lanes laid down; the caller
+// then falls back to the per-lane Access list, whose coalescing order
+// the slot alignment exists to preserve.
+func fragBatch(batch []WarpAccess, lane int, pieces []fragPiece, space Space, store bool) ([]WarpAccess, bool) {
+	for slot := range pieces {
+		if slot >= len(batch) {
+			break
+		}
+		g := &batch[slot]
+		if g.Bits != pieces[slot].bits || g.Space != space {
+			return batch, false
+		}
+	}
+	for slot := range pieces {
+		if slot < len(batch) {
+			g := &batch[slot]
+			g.Mask |= 1 << lane
+			g.Addr[lane] = pieces[slot].addr
+			continue
+		}
+		var g *WarpAccess
+		batch, g = appendBatchSlot(batch)
+		g.Mask = 1 << lane
+		g.Addr[lane] = pieces[slot].addr
+		g.Bits = pieces[slot].bits
+		g.Space = space
+		g.Store = store
+	}
+	return batch, true
+}
+
+// emitFragAccesses routes one lane's fragment pieces onto the batched or
+// legacy path. batched is carried across the instruction's lanes: once a
+// lane's structure forces the legacy fallback, the groups built so far
+// are expanded (in the exact lane-major order the legacy path would have
+// produced) and every remaining lane appends per-lane Accesses.
+func (w *Warp) emitFragAccesses(res *Result, batched bool, lane int, addrs []uint64, elemBits int, space Space, store bool) bool {
+	pieces := w.fragPieces(addrs, elemBits)
+	if batched {
+		var ok bool
+		if res.Batch, ok = fragBatch(res.Batch, lane, pieces, space, store); ok {
+			return true
+		}
+		res.Accesses = expandBatch(res.Accesses, res.Batch)
+		res.Batch = res.Batch[:0]
+	}
+	for _, p := range pieces {
+		res.Accesses = append(res.Accesses, Access{
+			Lane: lane, Addr: p.addr, Bits: int(p.bits), Space: space, Store: store,
+		})
+	}
+	return false
 }
 
 // laneAddrs returns the reusable per-lane address scratch, grown to n.
@@ -88,6 +156,7 @@ func (w *Warp) execWmmaLoad(d *DInstr, res *Result) error {
 	}
 	elemBytes := uint64(d.membytes)
 	buf := w.membuf[:4]
+	batched := !w.legacy
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
 			continue
@@ -109,7 +178,7 @@ func (w *Warp) execWmmaLoad(d *DInstr, res *Result) error {
 			w.setReg(lane, in.Dst[slot], v)
 		}
 		sp, _ := w.Env.resolveSpace(in.Space, addrs[0])
-		res.Accesses = fragAccesses(res.Accesses, lane, addrs, m.Elem.Bits(), sp, false)
+		batched = w.emitFragAccesses(res, batched, lane, addrs, m.Elem.Bits(), sp, false)
 	}
 	return nil
 }
@@ -127,6 +196,7 @@ func (w *Warp) execWmmaStore(d *DInstr, res *Result) error {
 	}
 	elemBytes := uint64(d.membytes)
 	buf := w.membuf[:4]
+	batched := !w.legacy
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
 			continue
@@ -143,7 +213,7 @@ func (w *Warp) execWmmaStore(d *DInstr, res *Result) error {
 			w.Env.write(in.Space, addr, buf[:elemBytes])
 		}
 		sp, _ := w.Env.resolveSpace(in.Space, addrs[0])
-		res.Accesses = fragAccesses(res.Accesses, lane, addrs, m.Elem.Bits(), sp, true)
+		batched = w.emitFragAccesses(res, batched, lane, addrs, m.Elem.Bits(), sp, true)
 	}
 	return nil
 }

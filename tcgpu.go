@@ -53,6 +53,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
+	"repro/internal/ptx"
 	"repro/internal/tensor"
 	"repro/internal/wmma"
 )
@@ -96,6 +97,13 @@ const (
 func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) {
 	return gpu.ParseSchedulerPolicy(s)
 }
+
+// LegacyAccessPath routes warps created afterwards through the per-lane
+// memory access path instead of the batched struct-of-arrays pipeline
+// (the default). It is a debug/ablation knob: both paths produce
+// bit-identical Stats and experiment tables; the batched one is simply
+// faster. See DESIGN.md's "Batched memory path".
+func LegacyAccessPath(on bool) { ptx.LegacyAccessPath(on) }
 
 // GemmKind selects the datapath of RunGEMM.
 type GemmKind int
