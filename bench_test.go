@@ -311,6 +311,60 @@ func BenchmarkAblationBatchedMem(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBatchedWMMA quantifies the batched wmma fragment
+// pipeline (ptx.LegacyFragmentPath; DESIGN.md "Batched fragment path")
+// on the tensor-core GEMMs whose per-element gather/scatter and
+// fragment data movement dominate once ld/st is batched: the
+// shared-memory WMMA kernel in both accumulation modes (hgemm is the
+// FP16-accumulate variant of the fig17 tensor series).
+func BenchmarkAblationBatchedWMMA(b *testing.B) {
+	// Deep-K tiles keep the launch wmma-dominated (every k-step stages
+	// fragments through shared memory and issues an mma), so the
+	// fragment-path delta is the measured quantity rather than dispatch
+	// and drain overhead.
+	workloads := []struct {
+		name    string
+		prec    kernels.GemmPrecision
+		m, n, k int
+	}{
+		{"hgemm", kernels.TensorFP16, 64, 64, 512},
+		{"mixed", kernels.TensorMixed, 64, 64, 512},
+	}
+	for _, w := range workloads {
+		for _, legacy := range []bool{false, true} {
+			legacy := legacy
+			w := w
+			name := w.name + "/batched"
+			if legacy {
+				name = w.name + "/legacy"
+			}
+			b.Run(name, func(b *testing.B) {
+				ptx.LegacyFragmentPath(legacy)
+				defer ptx.LegacyFragmentPath(false)
+				for i := 0; i < b.N; i++ {
+					l, err := kernels.WMMAGemmShared(w.prec, w.m, w.n, w.k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := gpu.TitanV()
+					cfg.NumSMs = 2
+					sim, err := gpu.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sim.Run(gpu.LaunchSpec{
+						Kernel: l.Kernel, Grid: l.Grid, Block: l.Block,
+						Args:   []uint64{0, 1 << 20, 2 << 20, 3 << 20},
+						Global: ptx.NewFlatMemory(4 << 20),
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationReadySet quantifies the event-driven ready-set
 // scheduler against the legacy per-cycle full scan (the gpu.ScanScheduler
 // knob; DESIGN.md). Two workloads: the fig17 quick grid — whose profile

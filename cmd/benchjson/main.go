@@ -27,7 +27,13 @@ import (
 
 // Result is one benchmark line.
 type Result struct {
-	Name       string  `json:"name"`
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the line ran under — the `-N` suffix go
+	// test appends when it is not 1 (or under -cpu). The suffix is
+	// parsed off uniformly so one benchmark keeps one Name whatever the
+	// -cpu setting; it used to stay glued to the name, making the same
+	// benchmark serialize under different names across machines.
+	Procs      int     `json:"procs"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	// BytesPerOp/AllocsPerOp are present with -benchmem.
@@ -78,7 +84,8 @@ func Parse(r io.Reader) (*File, error) {
 		if err != nil {
 			continue
 		}
-		res := Result{Name: fields[0], Iterations: iters}
+		name, procs := splitProcs(fields[0])
+		res := Result{Name: name, Procs: procs, Iterations: iters}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -106,6 +113,18 @@ func Parse(r io.Reader) (*File, error) {
 		return nil, err
 	}
 	return f, nil
+}
+
+// splitProcs splits the `-N` GOMAXPROCS suffix off a benchmark name,
+// the benchstat convention: a trailing dash-delimited positive integer
+// is the proc count (go test omits it only when GOMAXPROCS is 1).
+func splitProcs(name string) (string, int) {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			return name[:i], n
+		}
+	}
+	return name, 1
 }
 
 // nextBenchFile picks BENCH_<n>.json with n one past the largest present.

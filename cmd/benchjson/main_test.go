@@ -30,7 +30,7 @@ func TestParse(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
 	}
 	b0 := f.Benchmarks[0]
-	if b0.Name != "BenchmarkAblationBatchedMem/sgemm/batched" || b0.Iterations != 1 {
+	if b0.Name != "BenchmarkAblationBatchedMem/sgemm/batched" || b0.Iterations != 1 || b0.Procs != 1 {
 		t.Errorf("b0 = %+v", b0)
 	}
 	if b0.NsPerOp != 47647113 {
@@ -40,11 +40,57 @@ func TestParse(t *testing.T) {
 		t.Errorf("b0 memstats = %v %v", b0.BytesPerOp, b0.AllocsPerOp)
 	}
 	b2 := f.Benchmarks[2]
+	if b2.Name != "BenchmarkAblationScheduler/gto" || b2.Procs != 8 {
+		t.Errorf("-cpu suffix not split uniformly: %+v", b2)
+	}
 	if b2.Metrics["cycles"] != 51193 {
 		t.Errorf("custom metric lost: %+v", b2.Metrics)
 	}
 	if b2.BytesPerOp != nil {
 		t.Error("b2 has bytes_per_op without -benchmem fields")
+	}
+}
+
+// The same benchmark run under -cpu 1,2,8 must serialize under one
+// uniform name, with the proc count carried separately — lines whose
+// names differed only in the -N suffix used to land as three unrelated
+// benchmarks in the artifact.
+func TestParseCPUSuffixUniform(t *testing.T) {
+	const in = `BenchmarkFig17TFLOPS     	       2	  500 ns/op
+BenchmarkFig17TFLOPS-2   	       2	  300 ns/op
+BenchmarkFig17TFLOPS-8   	       2	  100 ns/op	  12 tc_fp16_tflops
+`
+	f, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	for i, wantProcs := range []int{1, 2, 8} {
+		b := f.Benchmarks[i]
+		if b.Name != "BenchmarkFig17TFLOPS" || b.Procs != wantProcs {
+			t.Errorf("line %d: name %q procs %d, want BenchmarkFig17TFLOPS procs %d", i, b.Name, b.Procs, wantProcs)
+		}
+	}
+	if f.Benchmarks[2].Metrics["tc_fp16_tflops"] != 12 {
+		t.Errorf("custom metric lost on suffixed line: %+v", f.Benchmarks[2].Metrics)
+	}
+}
+
+// A sub-benchmark axis value that happens to end in digits keeps its
+// name intact when no proc suffix follows it — only the final
+// dash-number is the -cpu suffix.
+func TestParseSubBenchDigits(t *testing.T) {
+	f, err := Parse(strings.NewReader("BenchmarkAblationHMMAII/2-8 	 1	 99 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(f.Benchmarks))
+	}
+	if b := f.Benchmarks[0]; b.Name != "BenchmarkAblationHMMAII/2" || b.Procs != 8 {
+		t.Errorf("got %q procs %d, want BenchmarkAblationHMMAII/2 procs 8", b.Name, b.Procs)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/gpu"
+	"repro/internal/ptx"
 )
 
 // Flag bounds: values beyond these are almost certainly typos (the full
@@ -35,17 +36,23 @@ import (
 const (
 	maxSMs     = 1024
 	maxWorkers = 4096
+	// maxTLActive bounds -tlactive at the architectural warp budget: no
+	// sub-core ever holds more warps than the SM-wide maximum.
+	maxTLActive = 64
 )
 
-// validateFlags rejects out-of-range -sms/-workers values and unknown
-// -sched spellings at the flag boundary with a clear error instead of
-// letting them misbehave deep in the simulator.
-func validateFlags(sms, workers int, sched string) error {
+// validateFlags rejects out-of-range -sms/-workers/-tlactive values and
+// unknown -sched spellings at the flag boundary with a clear error
+// instead of letting them misbehave deep in the simulator.
+func validateFlags(sms, workers, tlActive int, sched string) error {
 	if sms < 0 || sms > maxSMs {
 		return fmt.Errorf("experiments: -sms %d out of range (want 0 for the default, or 1..%d)", sms, maxSMs)
 	}
 	if workers < 0 || workers > maxWorkers {
 		return fmt.Errorf("experiments: -workers %d out of range (want 0 for one per CPU, or 1..%d)", workers, maxWorkers)
+	}
+	if tlActive < 0 || tlActive > maxTLActive {
+		return fmt.Errorf("experiments: -tlactive %d out of range (want 0 for the config default, or 1..%d)", tlActive, maxTLActive)
 	}
 	if sched != "" {
 		if _, err := gpu.ParseSchedulerPolicy(sched); err != nil {
@@ -65,14 +72,19 @@ func run() int {
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	sms := flag.Int("sms", 0, "override simulated SM count (chip-slice scaling)")
 	sched := flag.String("sched", "", "override warp scheduler for every experiment: gto | lrr | twolevel (default: per-experiment; the sched sweep ignores it)")
+	tlActive := flag.Int("tlactive", 0, "two-level scheduler active-subset size per sub-core (0 = config default; other policies ignore it)")
 	workers := flag.Int("workers", 0, "global worker-pool budget shared by all experiments' data points (0 = one per CPU, 1 = sequential)")
+	legacyFrag := flag.Bool("legacyfrag", false, "route wmma fragments through the per-element legacy path (debug/ablation; tables are bit-identical, just slower)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (hot-spot hunts: go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	if err := validateFlags(*sms, *workers, *sched); err != nil {
+	if err := validateFlags(*sms, *workers, *tlActive, *sched); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if *legacyFrag {
+		ptx.LegacyFragmentPath(true)
 	}
 
 	if *cpuprofile != "" {
@@ -114,7 +126,8 @@ func run() int {
 		return 0
 	}
 
-	opt := experiments.Options{Quick: *quick, SMs: *sms, Workers: *workers, Scheduler: *sched}
+	opt := experiments.Options{Quick: *quick, SMs: *sms, Workers: *workers,
+		Scheduler: *sched, TwoLevelActive: *tlActive}
 	var todo []experiments.Experiment
 	if *runID == "all" {
 		todo = experiments.All()

@@ -2,32 +2,35 @@ package main
 
 import "testing"
 
-// The -sms and -workers flags must be rejected at the flag boundary:
-// negative or absurd values used to panic or silently misbehave deep in
-// gpu.New.
+// The -sms, -workers and -tlactive flags must be rejected at the flag
+// boundary: negative or absurd values used to panic or silently
+// misbehave deep in gpu.New.
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		sms, workers int
-		sched        string
-		ok           bool
+		sms, workers, tlActive int
+		sched                  string
+		ok                     bool
 	}{
-		{0, 0, "", true},
-		{16, 4, "", true},
-		{16, 4, "gto", true},
-		{16, 4, "lrr", true},
-		{16, 4, "twolevel", true},
-		{maxSMs, maxWorkers, "", true},
-		{-1, 0, "", false},
-		{0, -1, "", false},
-		{maxSMs + 1, 0, "", false},
-		{0, maxWorkers + 1, "", false},
-		{-80, -80, "", false},
-		{0, 0, "fifo", false},
+		{0, 0, 0, "", true},
+		{16, 4, 0, "", true},
+		{16, 4, 0, "gto", true},
+		{16, 4, 0, "lrr", true},
+		{16, 4, 2, "twolevel", true},
+		{maxSMs, maxWorkers, maxTLActive, "", true},
+		{-1, 0, 0, "", false},
+		{0, -1, 0, "", false},
+		{maxSMs + 1, 0, 0, "", false},
+		{0, maxWorkers + 1, 0, "", false},
+		{0, 0, -1, "", false},
+		{0, 0, maxTLActive + 1, "", false},
+		{-80, -80, 0, "", false},
+		{0, 0, 0, "fifo", false},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.sms, c.workers, c.sched)
+		err := validateFlags(c.sms, c.workers, c.tlActive, c.sched)
 		if (err == nil) != c.ok {
-			t.Errorf("validateFlags(%d, %d, %q) = %v, want ok=%v", c.sms, c.workers, c.sched, err, c.ok)
+			t.Errorf("validateFlags(%d, %d, %d, %q) = %v, want ok=%v",
+				c.sms, c.workers, c.tlActive, c.sched, err, c.ok)
 		}
 	}
 }

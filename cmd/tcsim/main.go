@@ -22,6 +22,7 @@ import (
 	"repro/internal/cutlass"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
+	"repro/internal/ptx"
 	"repro/internal/tensor"
 	"repro/internal/wmma"
 )
@@ -39,11 +40,16 @@ func main() {
 	verify := flag.Bool("verify", true, "check the result against the float64 reference")
 	sizes := flag.String("sizes", "", "comma-separated square sizes to sweep (m = n = k); each point runs on its own simulator (timing only, -verify is ignored)")
 	workers := flag.Int("workers", 0, "worker pool size for -sizes sweeps (0 = one per CPU)")
+	tlActive := flag.Int("tlactive", 0, "two-level scheduler active-subset size per sub-core (0 = config default; other policies ignore it)")
+	legacyFrag := flag.Bool("legacyfrag", false, "route wmma fragments through the per-element legacy path (debug/ablation; results are bit-identical, just slower)")
 	flag.Parse()
 
-	if err := validateFlags(*m, *n, *k, *sms, *workers, *sched); err != nil {
+	if err := validateFlags(*m, *n, *k, *sms, *workers, *tlActive, *sched); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *legacyFrag {
+		ptx.LegacyFragmentPath(true)
 	}
 
 	cfg := gpu.TitanV()
@@ -51,6 +57,9 @@ func main() {
 		cfg.NumSMs = *sms
 	}
 	cfg.Scheduler, _ = gpu.ParseSchedulerPolicy(*sched) // validated above
+	if *tlActive > 0 {
+		cfg.TwoLevelActive = *tlActive
+	}
 
 	if *sizes != "" {
 		if err := runSweep(cfg, *kernel, *policy, *fp16acc, *sizes, *workers); err != nil {
@@ -123,17 +132,19 @@ func main() {
 
 // Flag bounds: dimensions beyond maxDim (the paper's largest sweep is
 // 16384) would allocate absurd operand matrices; SM counts beyond maxSMs
-// have no hardware analogue (the full Titan V has 80).
+// have no hardware analogue (the full Titan V has 80); active subsets
+// beyond maxTLActive exceed the SM-wide warp budget.
 const (
-	maxDim     = 1 << 17
-	maxSMs     = 1024
-	maxWorkers = 4096
+	maxDim      = 1 << 17
+	maxSMs      = 1024
+	maxWorkers  = 4096
+	maxTLActive = 64
 )
 
 // validateFlags rejects negative or absurd flag values at the boundary:
 // they used to panic in the kernel generators or be silently ignored
 // (a negative -sms ran the full 80-SM chip without saying so).
-func validateFlags(m, n, k, sms, workers int, scheduler string) error {
+func validateFlags(m, n, k, sms, workers, tlActive int, scheduler string) error {
 	for _, d := range []struct {
 		name string
 		v    int
@@ -147,6 +158,9 @@ func validateFlags(m, n, k, sms, workers int, scheduler string) error {
 	}
 	if workers < 0 || workers > maxWorkers {
 		return fmt.Errorf("tcsim: -workers %d out of range (want 0 for one per CPU, or 1..%d)", workers, maxWorkers)
+	}
+	if tlActive < 0 || tlActive > maxTLActive {
+		return fmt.Errorf("tcsim: -tlactive %d out of range (want 0 for the config default, or 1..%d)", tlActive, maxTLActive)
 	}
 	if _, err := gpu.ParseSchedulerPolicy(scheduler); err != nil {
 		return fmt.Errorf("tcsim: -sched: %v", err)

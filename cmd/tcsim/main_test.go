@@ -10,23 +10,27 @@ func TestValidateFlags(t *testing.T) {
 		name         string
 		m, n, k      int
 		sms, workers int
+		tlActive     int
 		scheduler    string
 		ok           bool
 	}{
-		{"defaults", 256, 256, 256, 0, 0, "gto", true},
-		{"lrr", 64, 64, 64, 16, 2, "lrr", true},
-		{"twolevel", 64, 64, 64, 16, 2, "twolevel", true},
-		{"max bounds", maxDim, maxDim, maxDim, maxSMs, maxWorkers, "gto", true},
-		{"negative m", -64, 256, 256, 0, 0, "gto", false},
-		{"zero n", 256, 0, 256, 0, 0, "gto", false},
-		{"huge k", 256, 256, maxDim + 1, 0, 0, "gto", false},
-		{"negative sms", 256, 256, 256, -5, 0, "gto", false},
-		{"huge sms", 256, 256, 256, maxSMs + 1, 0, "gto", false},
-		{"negative workers", 256, 256, 256, 0, -1, "gto", false},
-		{"bad scheduler", 256, 256, 256, 0, 0, "fifo", false},
+		{"defaults", 256, 256, 256, 0, 0, 0, "gto", true},
+		{"lrr", 64, 64, 64, 16, 2, 0, "lrr", true},
+		{"twolevel", 64, 64, 64, 16, 2, 0, "twolevel", true},
+		{"max bounds", maxDim, maxDim, maxDim, maxSMs, maxWorkers, 0, "gto", true},
+		{"negative m", -64, 256, 256, 0, 0, 0, "gto", false},
+		{"zero n", 256, 0, 256, 0, 0, 0, "gto", false},
+		{"huge k", 256, 256, maxDim + 1, 0, 0, 0, "gto", false},
+		{"negative sms", 256, 256, 256, -5, 0, 0, "gto", false},
+		{"huge sms", 256, 256, 256, maxSMs + 1, 0, 0, "gto", false},
+		{"negative workers", 256, 256, 256, 0, -1, 0, "gto", false},
+		{"tlactive", 256, 256, 256, 0, 0, 8, "twolevel", true},
+		{"negative tlactive", 256, 256, 256, 0, 0, -1, "gto", false},
+		{"huge tlactive", 256, 256, 256, 0, 0, maxTLActive + 1, "gto", false},
+		{"bad scheduler", 256, 256, 256, 0, 0, 0, "fifo", false},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.m, c.n, c.k, c.sms, c.workers, c.scheduler)
+		err := validateFlags(c.m, c.n, c.k, c.sms, c.workers, c.tlActive, c.scheduler)
 		if (err == nil) != c.ok {
 			t.Errorf("%s: validateFlags = %v, want ok=%v", c.name, err, c.ok)
 		}

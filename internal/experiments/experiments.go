@@ -31,6 +31,11 @@ type Options struct {
 	// scheduler sweep experiment ignores it — the sweep is the policy
 	// axis itself.
 	Scheduler string
+	// TwoLevelActive overrides the two-level scheduler's active-subset
+	// size per sub-core for every simulated launch (0 = config default).
+	// GTO and LRR launches ignore it; the scheduler sweep honours it for
+	// its twolevel column.
+	TwoLevelActive int
 	// Workers bounds the worker pool that fans an experiment's
 	// independent data points across CPUs: 0 uses one worker per CPU,
 	// 1 forces a sequential run. Parallel runs produce byte-identical
@@ -185,11 +190,26 @@ func (o Options) Validate() error {
 			return err
 		}
 	}
+	if o.TwoLevelActive < 0 {
+		return fmt.Errorf("experiments: TwoLevelActive must be ≥ 0 (0 = config default)")
+	}
 	return nil
 }
 
-// applySched applies the Options.Scheduler override to a config.
+// applyKnobs applies the policy-independent config overrides — the
+// per-policy knob sweep axis (currently TwoLevelActive). The scheduler
+// sweep applies it too, so the knob reaches its twolevel column.
+func (o Options) applyKnobs(cfg gpu.Config) gpu.Config {
+	if o.TwoLevelActive > 0 {
+		cfg.TwoLevelActive = o.TwoLevelActive
+	}
+	return cfg
+}
+
+// applySched applies the Options.Scheduler override (and the knob
+// overrides) to a config.
 func (o Options) applySched(cfg gpu.Config) (gpu.Config, error) {
+	cfg = o.applyKnobs(cfg)
 	if o.Scheduler == "" {
 		return cfg, nil
 	}

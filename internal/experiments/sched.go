@@ -28,7 +28,7 @@ func SchedSweep(opt Options) (*Table, error) {
 		sms = opt.SMs
 	}
 	pols := gpu.Schedulers()
-	base := scaledTitanV(sms)
+	base := opt.applyKnobs(scaledTitanV(sms))
 
 	cols := []string{"size"}
 	for _, p := range pols {

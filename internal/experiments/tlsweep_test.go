@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// colCells extracts one named column of a table.
+func colCells(t *testing.T, tb *Table, col string) []string {
+	t.Helper()
+	for i, c := range tb.Columns {
+		if c == col {
+			var out []string
+			for _, r := range tb.Rows {
+				out = append(out, r[i])
+			}
+			return out
+		}
+	}
+	t.Fatalf("table %s has no column %q (have %v)", tb.ID, col, tb.Columns)
+	return nil
+}
+
+// The TwoLevelActive knob sweep (ROADMAP "per-policy knob sweeps", test
+// half). Three properties pin the knob's contract on the quick grid:
+//
+//  1. Isolation — the knob reaches only the twolevel column; the gto
+//     and lrr cells are bit-identical for every subset size.
+//  2. Insensitivity — any subset size that can hold at least two warps
+//     produces cells bit-identical to the default: the quick grid's
+//     sub-cores never have enough concurrently ready warps for a larger
+//     active set to change an issue decision.
+//  3. Liveness — a degenerate single-warp subset does change the
+//     twolevel column (size 256's IPC drops), so the plumbing
+//     (Options.TwoLevelActive → gpu.Config → the scheduler) is
+//     end-to-end live, and the table note records the size in effect.
+func TestTwoLevelActiveSweepTables(t *testing.T) {
+	base, err := SchedSweep(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 8, 16, 64} {
+		n := n
+		t.Run(fmt.Sprintf("active=%d", n), func(t *testing.T) {
+			tb, err := SchedSweep(Options{Quick: true, TwoLevelActive: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, col := range []string{"gto_ipc", "lrr_ipc"} {
+				if got, want := colCells(t, tb, col), colCells(t, base, col); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s leaked into the %s column: %v, want %v", "TwoLevelActive", col, got, want)
+				}
+			}
+			if n >= 2 {
+				if !reflect.DeepEqual(tb.Rows, base.Rows) {
+					t.Errorf("active=%d cells differ from the default:\n%v\nvs\n%v", n, tb.Rows, base.Rows)
+				}
+			} else if reflect.DeepEqual(colCells(t, tb, "twolevel_ipc"), colCells(t, base, "twolevel_ipc")) {
+				t.Errorf("single-warp active subset left the twolevel column unchanged; the knob is inert")
+			}
+			wantNote := fmt.Sprintf("keeps %d warps per sub-core active", n)
+			if !strings.Contains(strings.Join(tb.Notes, "\n"), wantNote) {
+				t.Errorf("table note does not record the active size: %v", tb.Notes)
+			}
+		})
+	}
+	// A negative size must be rejected at the options boundary.
+	if err := (Options{TwoLevelActive: -1}).Validate(); err == nil {
+		t.Error("negative TwoLevelActive validated")
+	}
+}

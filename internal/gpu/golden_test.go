@@ -1,0 +1,123 @@
+package gpu
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/ptx"
+)
+
+// The golden-stats regression fixture: a snapshot of quick-grid Stats
+// for a small basket of workloads (SIMT and wmma GEMMs, each scheduler
+// policy) checked into testdata. The per-PR refactors so far (decoded
+// ALU, event-driven scheduling, batched memory, batched fragments) each
+// re-derived their own equivalence tests; the fixture catches silent
+// timing drift from any future change without new machinery — if the
+// drift is intentional, regenerate with
+//
+//	go test ./internal/gpu -run TestGoldenStats -update
+//
+// and review the diff like any other golden file.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_stats.json from the current simulator")
+
+const goldenStatsPath = "testdata/golden_stats.json"
+
+// goldenEntry is one (workload, policy) cell of the fixture.
+type goldenEntry struct {
+	Name  string `json:"name"`
+	Stats Stats  `json:"stats"`
+}
+
+// goldenWorkloads returns the fixture basket in a fixed order. Sizes
+// are the quick-grid scale: big enough to exercise staging, barriers,
+// tensor ops and multi-CTA dispatch, small enough to run in
+// milliseconds.
+func goldenWorkloads(t *testing.T) []struct {
+	name string
+	spec LaunchSpec
+} {
+	t.Helper()
+	build := func(l *kernels.Launch, err error) LaunchSpec {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return LaunchSpec{
+			Kernel: l.Kernel, Grid: l.Grid, Block: l.Block,
+			Args:   []uint64{0, 64 << 10, 128 << 10, 192 << 10},
+			Global: ptx.NewFlatMemory(256 << 10),
+		}
+	}
+	return []struct {
+		name string
+		spec LaunchSpec
+	}{
+		{"sgemm-simt-64x64x32", build(kernels.SGEMMSimt(64, 64, 32))},
+		{"hgemm-simt-64x128x16", build(kernels.HGEMMSimt(64, 128, 16))},
+		{"wmma-mixed-64x64x32", build(kernels.WMMAGemmShared(kernels.TensorMixed, 64, 64, 32))},
+		{"wmma-fp16-32x32x64", build(kernels.WMMAGemmShared(kernels.TensorFP16, 32, 32, 64))},
+	}
+}
+
+func TestGoldenStats(t *testing.T) {
+	var got []goldenEntry
+	for _, w := range goldenWorkloads(t) {
+		for _, pol := range Schedulers() {
+			cfg := TitanV()
+			cfg.NumSMs = 2
+			cfg.Scheduler = pol
+			sim, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := sim.Run(w.spec)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", w.name, pol, err)
+			}
+			if st.Cycles == 0 || st.WarpInstructions == 0 {
+				t.Fatalf("%s/%v: degenerate run %+v", w.name, pol, st)
+			}
+			got = append(got, goldenEntry{Name: w.name + "/" + pol.String(), Stats: *st})
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenStatsPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenStatsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenStatsPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenStatsPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("fixture has %d entries, run produced %d (regenerate with -update)", len(want), len(got))
+	}
+	for i := range got {
+		if got[i].Name != want[i].Name {
+			t.Fatalf("entry %d is %q, fixture has %q (regenerate with -update)", i, got[i].Name, want[i].Name)
+		}
+		if !reflect.DeepEqual(got[i].Stats, want[i].Stats) {
+			t.Errorf("%s: stats drifted from the golden fixture\ngot:  %+v\nwant: %+v\n(if intentional, regenerate with -update)",
+				got[i].Name, got[i].Stats, want[i].Stats)
+		}
+	}
+}

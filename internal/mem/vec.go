@@ -125,32 +125,51 @@ func coalesceVecsInto(out []uint64, set *sectorSet, cfg Config, vecs []AddrVec) 
 		if v.Mask == 0 {
 			return out
 		}
-		bytes := vecBytes(v.Bits)
-		switch classifyVec(v, bytes) {
-		case vecUniform:
-			// One lane's span; every other masked lane duplicates it.
-			a := v.Addr[firstLane(v.Mask)]
-			for s := a / sec; s <= (a+bytes-1)/sec; s++ {
+		if v.Mask == fullMask && mirroredHalves(v.Addr) {
+			// wmma fragment groups (Volta A/B hold every element in two
+			// lanes) and GEMM staging both produce half-warp mirrors:
+			// lanes 16..31 repeat lanes 0..15 exactly, so in the
+			// lane-major expansion they touch only already-seen sectors
+			// and cannot perturb first-touch order. Coalesce the first
+			// half alone — its (often unit-stride) shape then classifies
+			// as sorted instead of scattered.
+			half := AddrVec{Addr: v.Addr, Mask: 0xffff, Bits: v.Bits, Store: v.Store}
+			return coalesceOneVec(out, set, sec, &half)
+		}
+		return coalesceOneVec(out, set, sec, v)
+	}
+	return coalesceHash(out, set, sec, vecs)
+}
+
+// coalesceOneVec dispatches a single non-empty group on its classified
+// shape.
+func coalesceOneVec(out []uint64, set *sectorSet, sec uint64, v *AddrVec) []uint64 {
+	bytes := vecBytes(v.Bits)
+	switch classifyVec(v, bytes) {
+	case vecUniform:
+		// One lane's span; every other masked lane duplicates it.
+		a := v.Addr[firstLane(v.Mask)]
+		for s := a / sec; s <= (a+bytes-1)/sec; s++ {
+			out = append(out, s*sec)
+		}
+		return out
+	case vecUnitStride:
+		// The warp reads one contiguous byte range: the sector list is
+		// the ascending aligned cover, no dedup needed. A range that
+		// wraps the address space (unreachable from PTX, but possible
+		// through the exported API) keeps per-lane legacy semantics via
+		// the general path.
+		if a := v.Addr[0]; a <= a+32*bytes-1 {
+			for s := a / sec; s <= (a+32*bytes-1)/sec; s++ {
 				out = append(out, s*sec)
 			}
 			return out
-		case vecUnitStride:
-			// The warp reads one contiguous byte range: the sector list is
-			// the ascending aligned cover, no dedup needed. A range that
-			// wraps the address space (unreachable from PTX, but possible
-			// through the exported API) keeps per-lane legacy semantics via
-			// the general path.
-			if a := v.Addr[0]; a <= a+32*bytes-1 {
-				for s := a / sec; s <= (a+32*bytes-1)/sec; s++ {
-					out = append(out, s*sec)
-				}
-				return out
-			}
-		case vecSorted:
-			return coalesceSorted(out, sec, v, bytes)
 		}
+	case vecSorted:
+		return coalesceSorted(out, sec, v, bytes)
 	}
-	return coalesceHash(out, set, sec, vecs)
+	one := [1]AddrVec{*v}
+	return coalesceHash(out, set, sec, one[:])
 }
 
 // firstLane returns the lowest set lane of a non-zero mask.

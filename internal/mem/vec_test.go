@@ -59,6 +59,28 @@ func TestVecFastPathsMatchReference(t *testing.T) {
 		gaps[i] = uint64(i) * 100             // sorted, gapped, sector-sharing
 		desc[i] = uint64(31-i) * 128          // descending: scattered path
 	}
+	// wmma-shaped geometries from the batched fragment path: mirrored
+	// fragment halves (Volta A/B hold every element in two lanes, so
+	// piece groups repeat across half-warps) with sorted, gapped and
+	// descending first halves, and slot-aligned piece groups (one group
+	// per fragment slot, lanes strided by the tile's leading dimension).
+	var mirGap, mirDesc [32]uint64
+	for i := 0; i < 16; i++ {
+		mirGap[i] = 4096 + uint64(i)*96
+		mirDesc[i] = 8192 + uint64(15-i)*96
+		mirGap[i+16], mirDesc[i+16] = mirGap[i], mirDesc[i]
+	}
+	slotGroups := func(base uint64) []AddrVec {
+		var vecs []AddrVec
+		for slot := 0; slot < 4; slot++ {
+			var a [32]uint64
+			for lane := 0; lane < 32; lane++ {
+				a[lane] = base + uint64(lane%16)*64 + uint64(slot)*16
+			}
+			vecs = append(vecs, vecOf(a, ^uint32(0), 128, false))
+		}
+		return vecs
+	}
 	cases := []struct {
 		name string
 		vecs []AddrVec
@@ -83,6 +105,10 @@ func TestVecFastPathsMatchReference(t *testing.T) {
 			vecOf(unit, ^uint32(0), 128, false),
 			vecOf(mirror, 0x0000ffff, 32, false),
 		}},
+		{"mirrored_gapped", []AddrVec{vecOf(mirGap, ^uint32(0), 64, false)}},
+		{"mirrored_descending", []AddrVec{vecOf(mirDesc, ^uint32(0), 32, false)}},
+		{"mirrored_partial_mask", []AddrVec{vecOf(mirGap, 0x00ff00ff, 64, false)}},
+		{"wmma_slot_groups", slotGroups(1 << 16)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -176,13 +202,22 @@ func TestSectorSetOverflowDegrades(t *testing.T) {
 
 // FuzzVecMatchesReference is the equivalence fuzz: random geometries,
 // masks, widths and address vectors must coalesce and conflict-count
-// identically on the vectorized and per-lane reference paths.
+// identically on the vectorized and per-lane reference paths. The
+// mirror input folds lanes 16..31 onto 0..15, the wmma fragment shape
+// (Volta A/B piece groups repeat across half-warps) the mirrored-halves
+// fast paths dispatch on.
 func FuzzVecMatchesReference(f *testing.F) {
-	f.Add([]byte{1, 2, 3, 4}, uint32(0xffffffff), uint8(2), uint8(0), false)
-	f.Add([]byte{0, 0, 0, 0, 255, 255}, uint32(0x0000ffff), uint8(4), uint8(1), true)
-	f.Add([]byte{7, 13, 255, 0, 1, 1, 2, 2}, uint32(0xdeadbeef), uint8(0), uint8(2), false)
-	f.Add([]byte{9}, uint32(1), uint8(3), uint8(3), true)
-	f.Fuzz(func(t *testing.T, seed []byte, mask uint32, widthSel, geoSel uint8, store bool) {
+	f.Add([]byte{1, 2, 3, 4}, uint32(0xffffffff), uint8(2), uint8(0), false, false)
+	f.Add([]byte{0, 0, 0, 0, 255, 255}, uint32(0x0000ffff), uint8(4), uint8(1), true, false)
+	f.Add([]byte{7, 13, 255, 0, 1, 1, 2, 2}, uint32(0xdeadbeef), uint8(0), uint8(2), false, false)
+	f.Add([]byte{9}, uint32(1), uint8(3), uint8(3), true, false)
+	// wmma-shaped seeds: mirrored fragment halves (128- and 32-bit
+	// pieces), a mirrored partial mask, and slot-aligned two-group runs.
+	f.Add([]byte{16, 32, 48, 64, 80, 96, 112, 128}, uint32(0xffffffff), uint8(4), uint8(0), false, true)
+	f.Add([]byte{8, 8, 8, 8, 40, 40, 40, 40}, uint32(0xffffffff), uint8(2), uint8(0), false, true)
+	f.Add([]byte{64, 1, 191, 17}, uint32(0x0f0f0f0f), uint8(4), uint8(1), true, true)
+	f.Add([]byte{12, 24, 36, 48, 60, 72}, uint32(0xffffffff), uint8(3), uint8(0), true, true)
+	f.Fuzz(func(t *testing.T, seed []byte, mask uint32, widthSel, geoSel uint8, store, mirror bool) {
 		widths := []int32{8, 16, 32, 64, 128}
 		bits := widths[int(widthSel)%len(widths)]
 		cfg := TitanV()
@@ -205,6 +240,11 @@ func FuzzVecMatchesReference(f *testing.F) {
 		for i := 0; i < 32; i++ {
 			b := seed[i%len(seed)]
 			a[i] = uint64(b)*uint64(seed[0]%8+1)*4 + uint64(i%(int(b%5)+1))*64
+		}
+		if mirror {
+			for i := 16; i < 32; i++ {
+				a[i] = a[i-16]
+			}
 		}
 		vecs := []AddrVec{vecOf(a, mask, bits, store)}
 		if len(seed) > 4 { // second group from the reversed vector

@@ -72,6 +72,14 @@ type DInstr struct {
 	fragA    int32 // wmma.mma A-fragment length
 	fragB    int32 // wmma.mma B-fragment length
 
+	// Fragment plans for the batched wmma path (see wmma_batch.go):
+	// wplan decodes In.WMap for wmma.load/store; wA/wB/wC/wD decode the
+	// four wmma.mma mappings. nil keeps the per-lane path (missing
+	// mapping, non-uniform fragment structure, or non-register mma
+	// operands).
+	wplan          *fragPlan
+	wA, wB, wC, wD *fragPlan
+
 	// ld/st address-shape classification for the batched access path:
 	// the static state space (Generic resolves per execution) and the
 	// address register when the base operand is a plain register
@@ -163,9 +171,25 @@ func decodeInstr(k *Kernel, in *Instr, d *DInstr) {
 		}
 	case OpWmmaLoad, OpWmmaStore:
 		d.membytes = int32(cuda4BitBytes(in.WMap.Elem))
+		d.wplan = planFragment(in.WMap)
 	case OpWmmaMMA:
 		d.fragA = int32(in.WMapA.FragmentLen())
 		d.fragB = int32(in.WMapB.FragmentLen())
+		// The batched gather indexes fragment source registers directly,
+		// so it requires the all-register operand shape Builder emits.
+		regs := true
+		for _, o := range in.Src {
+			if o.Kind != OperandReg {
+				regs = false
+				break
+			}
+		}
+		if regs {
+			d.wA = planFragment(in.WMapA)
+			d.wB = planFragment(in.WMapB)
+			d.wC = planFragment(in.WMap)
+			d.wD = planFragment(in.WMapD)
+		}
 	}
 
 	if d.Class == DClassALU || d.Class == DClassSFU {

@@ -125,6 +125,10 @@ type Warp struct {
 	// from the LegacyAccessPath knob at construction, like the decoded
 	// ALU dispatch samples InterpretALU at decode time.
 	legacy bool
+	// legacyFrag routes this warp's wmma instructions through the
+	// per-element fragment path; sampled from LegacyFragmentPath at
+	// construction.
+	legacyFrag bool
 
 	// Scratch buffers reused across Step calls so the hot execution path
 	// stays allocation-free: staging buffers for loads/stores (membuf for
@@ -138,6 +142,7 @@ type Warp struct {
 	addrBuf  []uint64
 	pieceBuf []fragPiece
 	tiles    [4]*tensor.Matrix // wmma.mma A/B/C/D tile scratch
+	quantBuf []fp16.Float16    // wmma.mma operand quantization scratch
 }
 
 // NLanes returns the number of active lanes (fixed at construction:
@@ -153,6 +158,7 @@ func NewWarp(k *Kernel, env *Env, id int, args []uint64) (*Warp, error) {
 	}
 	w := &Warp{Kernel: k, Env: env, ID: id}
 	w.legacy = legacyAccessPath.Load()
+	w.legacyFrag = legacyFragmentPath.Load()
 	w.prog = k.prog
 	if w.prog == nil {
 		// Hand-assembled kernels (no Builder.Build pass) decode a private

@@ -155,6 +155,10 @@ func (w *Warp) execWmmaLoad(d *DInstr, res *Result) error {
 		return err
 	}
 	elemBytes := uint64(d.membytes)
+	if w.fragVec(d) && d.wplan != nil {
+		w.execWmmaLoadVec(d, res, base, stride)
+		return nil
+	}
 	buf := w.membuf[:4]
 	batched := !w.legacy
 	for lane := 0; lane < 32; lane++ {
@@ -195,6 +199,10 @@ func (w *Warp) execWmmaStore(d *DInstr, res *Result) error {
 		return err
 	}
 	elemBytes := uint64(d.membytes)
+	if w.fragVec(d) && d.wplan != nil {
+		w.execWmmaStoreVec(d, res, base, stride)
+		return nil
+	}
 	buf := w.membuf[:4]
 	batched := !w.legacy
 	for lane := 0; lane < 32; lane++ {
@@ -232,6 +240,9 @@ func (w *Warp) execWmmaMMA(d *DInstr) error {
 	cfg := in.WConfig
 	nA := int(d.fragA)
 	nB := int(d.fragB)
+	if w.fragVec(d) && d.wA != nil && d.wB != nil && d.wC != nil && d.wD != nil {
+		return w.execWmmaMMAVec(d, nA, nB)
+	}
 	aTile := w.gatherTile(in, in.WMapA, 0, cfg.AType, 0)
 	bTile := w.gatherTile(in, in.WMapB, nA, cfg.AType, 1)
 	cTile := w.gatherTile(in, in.WMap, nA+nB, cfg.CType, 2)
@@ -239,17 +250,22 @@ func (w *Warp) execWmmaMMA(d *DInstr) error {
 	if err := wmma.MMAInto(cfg, aTile, bTile, cTile, dTile); err != nil {
 		return err
 	}
-	// Scatter D into the destination registers via the D mapping.
-	dm := in.WMapD
+	w.scatterTile(in, in.WMapD, cfg.DType, dTile)
+	return nil
+}
+
+// scatterTile writes a result tile into the destination fragment
+// registers via the mapping — the per-lane reference the batched
+// scatterTileVec must match.
+func (w *Warp) scatterTile(in *Instr, m *wmma.Mapping, elem wmma.Precision, t *tensor.Matrix) {
 	for lane := 0; lane < 32; lane++ {
 		if !w.laneEnabled(lane, in) {
 			continue
 		}
-		for slot, c := range dm.Lanes[lane] {
-			w.setReg(lane, in.Dst[slot], encodeElem(cfg.DType, dTile.At(c.Row, c.Col)))
+		for slot, c := range m.Lanes[lane] {
+			w.setReg(lane, in.Dst[slot], encodeElem(elem, t.At(c.Row, c.Col)))
 		}
 	}
-	return nil
 }
 
 // scratchTile returns the warp's reusable slot-th tile matrix, reallocated

@@ -77,6 +77,19 @@ func MMA(cfg Config, a, b, c *tensor.Matrix, outLayout tensor.Layout) (*tensor.M
 // fully overwritten — the allocation-light path the instruction executor
 // runs once per dynamic wmma.mma.
 func MMAInto(cfg Config, a, b, c, d *tensor.Matrix) error {
+	return MMAIntoBuf(cfg, a, b, c, d, nil)
+}
+
+// QuantBufLen returns the fp16 scratch length MMAIntoBuf needs for the
+// configuration's operand quantization: one binary16 value per A and B
+// element.
+func QuantBufLen(cfg Config) int { return (cfg.Shape.M + cfg.Shape.N) * cfg.Shape.K }
+
+// MMAIntoBuf is MMAInto with a caller-provided quantization scratch of
+// at least QuantBufLen(cfg) elements (nil or short buffers allocate,
+// preserving MMAInto's behaviour). The batched wmma executor reuses one
+// buffer per warp so a dynamic wmma.mma allocates nothing.
+func MMAIntoBuf(cfg Config, a, b, c, d *tensor.Matrix, buf []fp16.Float16) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -84,7 +97,7 @@ func MMAInto(cfg Config, a, b, c, d *tensor.Matrix) error {
 		mmaInt(cfg, a, b, c, d)
 		return nil
 	}
-	mmaFloat(cfg, a, b, c, d)
+	mmaFloat(cfg, a, b, c, d, buf)
 	return nil
 }
 
@@ -97,10 +110,14 @@ func MustMMA(cfg Config, a, b, c *tensor.Matrix, outLayout tensor.Layout) *tenso
 	return d
 }
 
-func mmaFloat(cfg Config, a, b, c, d *tensor.Matrix) {
+func mmaFloat(cfg Config, a, b, c, d *tensor.Matrix, buf []fp16.Float16) {
 	s := cfg.Shape
 	// Quantize A rows and B columns once, into two flat buffers.
-	flat := make([]fp16.Float16, (s.M+s.N)*s.K)
+	need := (s.M + s.N) * s.K
+	if cap(buf) < need {
+		buf = make([]fp16.Float16, need)
+	}
+	flat := buf[:need]
 	av, bv := flat[:s.M*s.K], flat[s.M*s.K:]
 	for i := 0; i < s.M; i++ {
 		for k := 0; k < s.K; k++ {

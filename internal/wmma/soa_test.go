@@ -1,0 +1,64 @@
+package wmma
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The SoA view must be a pure transposition of Lanes: same coordinates,
+// same slot order, for every supported mapping.
+func TestSlotVecsMatchLanes(t *testing.T) {
+	type mc struct {
+		arch   Arch
+		shape  Shape
+		op     Operand
+		layout tensor.Layout
+		elem   Precision
+	}
+	var cases []mc
+	for _, layout := range []tensor.Layout{tensor.RowMajor, tensor.ColMajor} {
+		for _, op := range []Operand{MatrixA, MatrixB} {
+			cases = append(cases, mc{Volta, M16N16K16, op, layout, F16})
+			for _, sh := range []Shape{M16N16K16, M32N8K16, M8N32K16} {
+				cases = append(cases, mc{Turing, sh, op, layout, F16})
+			}
+		}
+	}
+	for _, elem := range []Precision{F16, F32} {
+		cases = append(cases, mc{Volta, M16N16K16, MatrixC, tensor.RowMajor, elem})
+		cases = append(cases, mc{Turing, M16N16K16, MatrixC, tensor.RowMajor, elem})
+	}
+	for _, c := range cases {
+		m, err := Map(c.arch, c.shape, c.op, c.layout, c.elem)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		v := m.SlotVecs()
+		if !v.Uniform {
+			t.Fatalf("%+v: standard mapping reported non-uniform", c)
+		}
+		if v.Slots != m.FragmentLen() {
+			t.Fatalf("%+v: Slots = %d, FragmentLen = %d", c, v.Slots, m.FragmentLen())
+		}
+		for lane := range m.Lanes {
+			for slot, coord := range m.Lanes[lane] {
+				if int(v.Row[slot][lane]) != coord.Row || int(v.Col[slot][lane]) != coord.Col {
+					t.Fatalf("%+v: lane %d slot %d = (%d,%d), want %v",
+						c, lane, slot, v.Row[slot][lane], v.Col[slot][lane], coord)
+				}
+			}
+		}
+	}
+}
+
+// A mapping whose lanes disagree on fragment length must report
+// non-uniform so the executor takes the per-lane fallback.
+func TestSlotVecsNonUniform(t *testing.T) {
+	m := MustMap(Volta, M16N16K16, MatrixA, tensor.RowMajor, F16)
+	ragged := *m
+	ragged.Lanes[7] = ragged.Lanes[7][:len(ragged.Lanes[7])-1]
+	if v := ragged.SlotVecs(); v.Uniform || v.Row != nil {
+		t.Fatalf("ragged mapping reported uniform: %+v", v)
+	}
+}

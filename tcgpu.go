@@ -105,6 +105,14 @@ func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) {
 // faster. See DESIGN.md's "Batched memory path".
 func LegacyAccessPath(on bool) { ptx.LegacyAccessPath(on) }
 
+// LegacyFragmentPath routes warps created afterwards through the
+// per-element wmma fragment path (gather/scatter and fragment data
+// movement one element at a time) instead of the batched slot-vector
+// pipeline (the default). Like LegacyAccessPath it is a debug/ablation
+// knob: both paths produce bit-identical Stats and experiment tables.
+// See DESIGN.md's "Batched fragment path".
+func LegacyFragmentPath(on bool) { ptx.LegacyFragmentPath(on) }
+
 // GemmKind selects the datapath of RunGEMM.
 type GemmKind int
 
