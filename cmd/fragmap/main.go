@@ -11,24 +11,37 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/tensor"
 	"repro/internal/wmma"
 )
 
-func main() {
-	arch := flag.String("arch", "volta", "volta or turing")
-	shape := flag.String("shape", "m16n16k16", "tile shape: m16n16k16, m32n8k16, m8n32k16, m8n8k32")
-	op := flag.String("op", "a", "operand: a, b or c")
-	layout := flag.String("layout", "row", "row or col")
-	elem := flag.String("elem", "", "element type (default f16; c defaults to f32)")
-	lane := flag.Int("lane", -1, "print one lane's fragment instead of the ownership grid")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	a := wmma.Volta
-	if *arch == "turing" {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fragmap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	arch := fs.String("arch", "volta", "volta or turing")
+	shape := fs.String("shape", "m16n16k16", "tile shape: m16n16k16, m32n8k16, m8n32k16, m8n8k32")
+	op := fs.String("op", "a", "operand: a, b or c")
+	layout := fs.String("layout", "row", "row or col")
+	elem := fs.String("elem", "", "element type (default f16; c defaults to f32)")
+	lane := fs.Int("lane", -1, "print one lane's fragment instead of the ownership grid")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var a wmma.Arch
+	switch *arch {
+	case "volta":
+		a = wmma.Volta
+	case "turing":
 		a = wmma.Turing
+	default:
+		fmt.Fprintf(stderr, "fragmap: unknown arch %q\n", *arch)
+		return 2
 	}
 	var sh wmma.Shape
 	switch *shape {
@@ -41,7 +54,8 @@ func main() {
 	case "m8n8k32":
 		sh = wmma.M8N8K32
 	default:
-		fatal("unknown shape %q", *shape)
+		fmt.Fprintf(stderr, "fragmap: unknown shape %q\n", *shape)
+		return 2
 	}
 	var o wmma.Operand
 	switch *op {
@@ -52,11 +66,18 @@ func main() {
 	case "c":
 		o = wmma.MatrixC
 	default:
-		fatal("unknown operand %q", *op)
+		fmt.Fprintf(stderr, "fragmap: unknown operand %q\n", *op)
+		return 2
 	}
-	lay := tensor.RowMajor
-	if *layout == "col" {
+	var lay tensor.Layout
+	switch *layout {
+	case "row":
+		lay = tensor.RowMajor
+	case "col":
 		lay = tensor.ColMajor
+	default:
+		fmt.Fprintf(stderr, "fragmap: unknown layout %q\n", *layout)
+		return 2
 	}
 	e := wmma.F16
 	if o == wmma.MatrixC {
@@ -77,26 +98,25 @@ func main() {
 	case "s32":
 		e = wmma.S32
 	default:
-		fatal("unknown element type %q", *elem)
+		fmt.Fprintf(stderr, "fragmap: unknown element type %q\n", *elem)
+		return 2
 	}
 
 	m, err := wmma.Map(a, sh, o, lay, e)
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(stderr, "fragmap: %v\n", err)
+		return 1
 	}
 	if *lane >= 0 {
 		if *lane > 31 {
-			fatal("lane must be 0..31")
+			fmt.Fprintln(stderr, "fragmap: lane must be 0..31")
+			return 2
 		}
-		fmt.Println(m.RenderLane(*lane))
-		return
+		fmt.Fprintln(stdout, m.RenderLane(*lane))
+		return 0
 	}
-	fmt.Print(m.RenderOwnership())
-	fmt.Printf("fragment: %d elements/lane; SASS loads/lane: %d\n",
+	fmt.Fprint(stdout, m.RenderOwnership())
+	fmt.Fprintf(stdout, "fragment: %d elements/lane; SASS loads/lane: %d\n",
 		m.FragmentLen(), m.LoadInstructionCount(16))
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

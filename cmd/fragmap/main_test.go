@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestOwnershipGolden pins the Figure 7 ownership grid for the Volta
+// 16x16x16 A operand: four row-bands of four rows, owned by threadgroup
+// pairs 0+2, 4+6, 1+3, 5+7 (each element is held by two lanes on Volta).
+func TestOwnershipGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-arch", "volta", "-op", "a", "-layout", "row"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errb.String())
+	}
+	var want strings.Builder
+	want.WriteString("volta m16n16k16 a row (16 x 16), threadgroup owners per element:\n")
+	for _, band := range []string{"02", "46", "13", "57"} {
+		row := strings.Repeat(" "+band, 16) + "\n"
+		for i := 0; i < 4; i++ {
+			want.WriteString(row)
+		}
+	}
+	want.WriteString("fragment: 16 elements/lane; SASS loads/lane: 2\n")
+	if got := out.String(); got != want.String() {
+		t.Errorf("ownership grid mismatch:\ngot:\n%s\nwant:\n%s", got, want.String())
+	}
+}
+
+// TestLaneGolden pins one lane's fragment render for a Turing int8 B
+// tile: lane 3 holds a contiguous 8-element column run.
+func TestLaneGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-arch", "turing", "-shape", "m8n8k32", "-op", "b", "-elem", "s8", "-lane", "3"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errb.String())
+	}
+	want := "lane 3 (threadgroup 0): x[0]=(24,0) x[1]=(25,0) x[2]=(26,0) x[3]=(27,0)" +
+		" x[4]=(28,0) x[5]=(29,0) x[6]=(30,0) x[7]=(31,0)\n"
+	if got := out.String(); got != want {
+		t.Errorf("lane render = %q, want %q", got, want)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		err  string
+	}{
+		{"bad arch", []string{"-arch", "pascal"}, 2, `unknown arch "pascal"`},
+		{"bad shape", []string{"-shape", "m1n1k1"}, 2, `unknown shape "m1n1k1"`},
+		{"bad operand", []string{"-op", "d"}, 2, `unknown operand "d"`},
+		{"bad layout", []string{"-layout", "diag"}, 2, `unknown layout "diag"`},
+		{"bad elem", []string{"-elem", "f64"}, 2, `unknown element type "f64"`},
+		{"lane out of range", []string{"-lane", "40"}, 2, "lane must be 0..31"},
+		{"unknown flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"unsupported combination", []string{"-arch", "volta", "-shape", "m8n8k32", "-elem", "s8"}, 1,
+			"volta supports only m16n16k16"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != tc.code {
+				t.Fatalf("run(%q) = %d, want %d (stderr %q)", tc.args, code, tc.code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.err) {
+				t.Errorf("stderr %q does not mention %q", errb.String(), tc.err)
+			}
+			if out.Len() != 0 {
+				t.Errorf("stdout %q, want empty on failure", out.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %q", code, errb.String())
+	}
+	for _, name := range []string{"determinism", "hotpath", "knobpair", "statcomplete"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr %q does not name the bad analyzer", errb.String())
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	_ = out
+}
+
+func TestBadPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"repro/internal/nosuchpkg"}, &out, &errb); code != 2 {
+		t.Fatalf("run = %d, want 2 (stderr %q)", code, errb.String())
+	}
+}
+
+// TestCleanPackage runs the full suite over a package with no simulator
+// state and no Stats structs: every analyzer must pass without output.
+func TestCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"repro/internal/fp16"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}

@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The hotpath analyzer. Functions annotated //simlint:hotpath are the
+// per-cycle issue/execute/coalesce/fragment paths whose alloc-free
+// discipline PRs 2-5 paid for; this analyzer keeps those wins from
+// regressing silently. Inside an annotated function it flags, within
+// loops:
+//
+//   - &T{...}, slice/map composite literals, make and new — one heap
+//     allocation per iteration,
+//   - append to a slice that provably starts at zero capacity
+//     (var s []T / s := []T{} / make(..., 0)) — reslice a scratch
+//     buffer (buf[:0]) or preallocate instead,
+//   - implicit or explicit conversions of concrete values to interface
+//     types (boxing allocates and devirtualizes),
+//
+// and anywhere in the function: closures that capture variables (the
+// capture forces the variable and the closure onto the heap). A
+// finding that is intentional carries //simlint:ok <why> on its line.
+//
+// The analyzer is syntactic about escape: it does not model the
+// compiler's escape analysis, it enforces the stricter house rule that
+// per-cycle code simply does not construct these shapes in loops.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid per-iteration allocation shapes in //simlint:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	for _, f := range pass.Files {
+		dirs := FileDirectives(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcDirective(dirs, pass.Fset, fd, "hotpath") {
+				continue
+			}
+			h := &hotpathWalker{pass: pass, dirs: dirs, fn: fd, sliceInit: localSliceInits(pass, fd)}
+			h.walk(fd.Body, 0)
+		}
+	}
+}
+
+// localSliceInits maps each function-local variable to its initializer
+// expression (nil for `var s []T`), so the append rule can tell a
+// zero-capacity slice from a preallocated or resliced scratch buffer.
+func localSliceInits(pass *Pass, fd *ast.FuncDecl) map[types.Object]ast.Expr {
+	inits := map[types.Object]ast.Expr{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						inits[obj] = n.Rhs[i]
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						var init ast.Expr
+						if i < len(vs.Values) {
+							init = vs.Values[i]
+						}
+						inits[obj] = init
+					}
+				}
+			}
+		}
+		return true
+	})
+	return inits
+}
+
+type hotpathWalker struct {
+	pass      *Pass
+	dirs      map[int][]Directive
+	fn        *ast.FuncDecl
+	sliceInit map[types.Object]ast.Expr
+}
+
+func (h *hotpathWalker) reportf(pos token.Pos, format string, args ...any) {
+	if !suppressed(h.dirs, h.pass.Fset, pos, "ok") {
+		h.pass.Reportf(pos, format, args...)
+	}
+}
+
+// walk descends the annotated function, tracking loop depth. Function
+// literals are checked for captures and not descended into: their
+// bodies run when invoked, and the closure allocation itself is the
+// hot-path violation.
+func (h *hotpathWalker) walk(n ast.Node, loopDepth int) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		loopDepth++
+	case *ast.FuncLit:
+		h.checkClosure(n)
+		return
+	case *ast.UnaryExpr:
+		if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+			if loopDepth > 0 {
+				h.reportf(n.Pos(), "&%s composite literal escapes to the heap each iteration; hoist it out of the loop", typeString(h.pass, lit))
+			}
+			// The literal is accounted for; visit only its elements.
+			for _, e := range lit.Elts {
+				h.walk(e, loopDepth)
+			}
+			return
+		}
+	case *ast.CompositeLit:
+		if loopDepth > 0 {
+			switch h.pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				h.reportf(n.Pos(), "%s literal allocates each iteration; reuse a scratch buffer", typeString(h.pass, n))
+			}
+		}
+	case *ast.CallExpr:
+		h.checkCall(n, loopDepth)
+	}
+	for _, c := range children(n) {
+		h.walk(c, loopDepth)
+	}
+}
+
+func (h *hotpathWalker) checkCall(call *ast.CallExpr, loopDepth int) {
+	if loopDepth == 0 {
+		return
+	}
+	// Builtins: make/new allocate; append from zero capacity reallocates
+	// every growth step.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := h.pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				h.reportf(call.Pos(), "make inside a loop allocates each iteration; hoist the buffer and reslice it")
+			case "new":
+				h.reportf(call.Pos(), "new inside a loop allocates each iteration; hoist the allocation")
+			case "append":
+				h.checkAppend(call)
+			}
+			return
+		}
+	}
+	tv, ok := h.pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x).
+		if isInterface(tv.Type) && len(call.Args) == 1 && !isInterface(h.pass.Info.TypeOf(call.Args[0])) {
+			h.reportf(call.Pos(), "conversion to %s boxes its operand each iteration", tv.Type)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call)
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		at := h.pass.Info.TypeOf(arg)
+		if at == nil || isInterface(at) || isUntypedNil(h.pass, arg) {
+			continue
+		}
+		h.reportf(arg.Pos(), "argument boxes %s into %s each iteration", at, pt)
+	}
+}
+
+// checkAppend flags append whose destination is a local slice that
+// provably starts with zero capacity. Appends to parameters, fields,
+// reslices (buf[:0]) and sized makes are the sanctioned scratch-buffer
+// idiom and stay legal.
+func (h *hotpathWalker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := h.pass.Info.Uses[id]
+	init, declaredHere := h.sliceInit[obj]
+	if !declaredHere || !zeroCapInit(h.pass, init) {
+		return
+	}
+	h.reportf(call.Pos(), "append grows %s from zero capacity inside a loop; preallocate or reslice a scratch buffer", id.Name)
+}
+
+// zeroCapInit reports whether the initializer provably yields a
+// zero-capacity slice: no initializer (var s []T), nil, an empty
+// literal, or make with literal zero size and no larger capacity.
+func zeroCapInit(pass *Pass, init ast.Expr) bool {
+	if init == nil {
+		return true
+	}
+	switch e := ast.Unparen(init).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		if _, ok := pass.Info.TypeOf(e).Underlying().(*types.Slice); ok {
+			return len(e.Elts) == 0
+		}
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) < 2 {
+			return false
+		}
+		cap := e.Args[len(e.Args)-1]
+		lit, ok := ast.Unparen(cap).(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	return false
+}
+
+// checkClosure flags function literals that capture enclosing-function
+// variables; the capture heap-allocates both closure and variable.
+func (h *hotpathWalker) checkClosure(lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := h.pass.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || seen[v] {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal.
+		if v.Pos() >= h.fn.Pos() && v.Pos() < h.fn.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			seen[v] = true
+			h.reportf(lit.Pos(), "closure captures %s, forcing a heap allocation; pass state explicitly", v.Name())
+		}
+		return true
+	})
+}
+
+func typeString(pass *Pass, e ast.Expr) string {
+	if t := pass.Info.TypeOf(e); t != nil {
+		return t.String()
+	}
+	return "composite"
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// paramType resolves the static parameter type for argument i,
+// expanding the variadic tail (except for f(slice...) pass-through).
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		if i >= n-1 {
+			if call.Ellipsis != token.NoPos {
+				return sig.Params().At(n - 1).Type()
+			}
+			return sig.Params().At(n - 1).Type().(*types.Slice).Elem()
+		}
+		return sig.Params().At(i).Type()
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// children returns the immediate AST children of n, letting the walker
+// control descent (ast.Inspect cannot stop at FuncLit boundaries while
+// tracking loop depth).
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if c == n {
+			return true
+		}
+		out = append(out, c)
+		return false
+	})
+	return out
+}

@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// moduleRoot is the repo root relative to this package's test cwd.
+const moduleRoot = "../.."
+
+func TestDeterminismFixture(t *testing.T) {
+	analysistest.Run(t, moduleRoot, analysis.DeterminismAnalyzer, "./internal/analysis/testdata/src/determinism")
+}
+
+func TestHotpathFixture(t *testing.T) {
+	analysistest.Run(t, moduleRoot, analysis.HotpathAnalyzer, "./internal/analysis/testdata/src/hotpath")
+}
+
+func TestKnobpairFixture(t *testing.T) {
+	analysistest.Run(t, moduleRoot, analysis.KnobpairAnalyzer, "./internal/analysis/testdata/src/knobpair")
+}
+
+func TestStatcompleteFixture(t *testing.T) {
+	analysistest.Run(t, moduleRoot, analysis.StatcompleteAnalyzer, "./internal/analysis/testdata/src/statcomplete")
+}
+
+func TestStatcompleteNoEmitterFixture(t *testing.T) {
+	analysistest.Run(t, moduleRoot, analysis.StatcompleteAnalyzer, "./internal/analysis/testdata/src/statnoemitter")
+}
+
+// TestRepoSweepClean is the in-tree lint gate: the full suite over the
+// whole module must come back empty. CI additionally runs cmd/simlint
+// directly so findings land in the job summary with file:line
+// positions.
+func TestRepoSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; the CI lint job covers short runs")
+	}
+	m, err := analysis.Load(moduleRoot, "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	for _, d := range analysis.RunSuite(m, analysis.Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

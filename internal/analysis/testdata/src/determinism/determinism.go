@@ -1,0 +1,114 @@
+// Package determinism is the simlint determinism fixture: every flagged
+// form carries a want comment, and the unflagged forms pin the rule's
+// allowed idioms so the analyzer cannot silently overreach.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clocks exercises the wall-clock rule.
+func Clocks() time.Duration {
+	start := time.Now()      // want "time.Now in a simulator package breaks run-to-run reproducibility"
+	return time.Since(start) // want "time.Since in a simulator package"
+}
+
+// SanctionedClock pins both suppression placements: the line above and
+// the same line.
+func SanctionedClock() time.Duration {
+	//simlint:wallclock stderr timing diagnostic, never reaches Stats
+	start := time.Now()
+	return time.Since(start) //simlint:wallclock stderr timing diagnostic
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() int {
+	return rand.Intn(8) // want "rand.Intn draws from the process-global source"
+}
+
+// SeededRand threads an explicit source: allowed.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8)
+}
+
+// LeakOrder appends map values in iteration order.
+func LeakOrder(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "map iteration order leaks into out"
+	}
+	return out
+}
+
+// FloatAccumulate is order-dependent: float addition does not commute
+// under rounding.
+func FloatAccumulate(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "map iteration order leaks into sum"
+	}
+	return sum
+}
+
+// IntAccumulate is exact and commutative: allowed.
+func IntAccumulate(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// KeyedInsert writes through the ranged key: order-free, allowed.
+func KeyedInsert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Prune deletes while ranging: allowed.
+func Prune(m, dead map[int]bool) {
+	for k := range m {
+		delete(dead, k)
+	}
+}
+
+// LocalState only writes loop-local and integer state: allowed.
+func LocalState(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		total += s
+	}
+	return total
+}
+
+// Justified collects then sorts, with the ordered justification.
+func Justified(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//simlint:ordered values are sorted before emission
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FormatMap renders a map directly.
+func FormatMap(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want "fmt.Sprintf of a map renders in unstable order"
+}
+
+// FormatScalar formats plain values: allowed.
+func FormatScalar(n int, m map[string]int) string {
+	return fmt.Sprintf("%d of %d", n, len(m))
+}

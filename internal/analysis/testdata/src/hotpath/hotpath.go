@@ -1,0 +1,102 @@
+// Package hotpath is the simlint hotpath fixture: annotated functions
+// exhibit each flagged allocation shape and each sanctioned scratch
+// idiom; unannotated functions show the analyzer keeps out of cold
+// paths entirely.
+package hotpath
+
+type point struct{ x, y int }
+
+type summer interface{ sum() int }
+
+func (p *point) sum() int { return p.x + p.y }
+
+func consume(s summer) int { return s.sum() }
+
+//simlint:hotpath
+func PerIterationAllocs(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		p := &point{i, i}    // want "composite literal escapes to the heap each iteration"
+		s := []int{i}        // want "literal allocates each iteration"
+		b := make([]byte, 8) // want "make inside a loop allocates each iteration"
+		q := new(point)      // want "new inside a loop allocates each iteration"
+		total += p.x + s[0] + len(b) + q.y
+	}
+	return total
+}
+
+//simlint:hotpath
+func GrowsFromZero(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "append grows out from zero capacity inside a loop"
+	}
+	return out
+}
+
+//simlint:hotpath
+func Boxes(xs []point) int {
+	total := 0
+	for i := range xs {
+		total += consume(&xs[i]) // want "argument boxes \\*.*point into .*summer"
+		s := summer(&xs[i])      // want "conversion to .*summer boxes its operand"
+		total += s.sum()
+	}
+	return total
+}
+
+//simlint:hotpath
+func Closes(xs []int) func() int {
+	total := 0
+	f := func() int { return total } // want "closure captures total"
+	for _, x := range xs {
+		total += x
+	}
+	return f
+}
+
+// ScratchAppend reuses the caller's buffer through a reslice: the
+// sanctioned scratch idiom, allowed.
+//
+//simlint:hotpath
+func ScratchAppend(xs, buf []int) []int {
+	out := buf[:0]
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Preallocated sizes its slice up front: allowed.
+//
+//simlint:hotpath
+func Preallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// JustifiedAlloc carries an explicit ok justification.
+//
+//simlint:hotpath
+func JustifiedAlloc(n int) []*point {
+	out := make([]*point, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, &point{i, i}) //simlint:ok launch boundary, runs once per kernel not per cycle
+	}
+	return out
+}
+
+// coldPath is unannotated: the same shapes draw no diagnostics.
+func coldPath(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Touch keeps the cold path referenced.
+func Touch() []int { return coldPath(3) }

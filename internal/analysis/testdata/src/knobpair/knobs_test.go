@@ -1,0 +1,15 @@
+package knobpair
+
+import "testing"
+
+func TestKnobs(t *testing.T) {
+	LegacyGood(true)
+	defer LegacyGood(false)
+	LegacyHalfTested(true)
+	for _, on := range []bool{false, true} {
+		LegacySwept(on)
+	}
+	if !legacyGood || !legacyHalf || scanNever {
+		t.Fatal("knob state")
+	}
+}

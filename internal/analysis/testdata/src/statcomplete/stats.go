@@ -1,0 +1,34 @@
+// Package statcomplete is the simlint statcomplete fixture: a Stats
+// struct whose counters are all surfaced by the annotated emitter —
+// except one, the silently-dropped-counter bug the analyzer exists to
+// catch.
+package statcomplete
+
+import "fmt"
+
+type trace struct{ n int }
+
+// Stats mirrors gpu.Stats: numeric counters plus a non-counter field.
+type Stats struct {
+	Cycles  uint64
+	Issued  uint64
+	Dropped uint64 // want "Stats.Dropped is accumulated but never referenced by a //simlint:emitter function"
+	IPC     float64
+	Trace   *trace // non-numeric: exempt
+	hidden  int    // unexported: exempt
+}
+
+// Report is the sanctioned emitter; it surfaces every counter but
+// Dropped.
+//
+//simlint:emitter
+func Report(st *Stats) string {
+	return fmt.Sprintf("%d cycles, %d issued, IPC %.2f", st.Cycles, st.Issued, st.IPC)
+}
+
+// Accumulate shows that reads outside emitters do not count.
+func Accumulate(st *Stats) {
+	st.Dropped++
+	st.hidden++
+	_ = st.Trace
+}

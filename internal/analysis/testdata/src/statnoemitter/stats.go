@@ -1,0 +1,12 @@
+// Package statnoemitter pins the statcomplete misconfiguration
+// diagnostic: counters exist but no function is annotated as the
+// report surface.
+package statnoemitter
+
+type Stats struct {
+	Cycles uint64 // want "no //simlint:emitter function exists"
+	Issued uint64
+}
+
+// Sum reads the counters but is not annotated.
+func Sum(st *Stats) uint64 { return st.Cycles + st.Issued }

@@ -37,11 +37,11 @@ func Fig7(Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		copies := 0
-		for _, n := range m.LoadCounts() {
-			copies = n
-			break
-		}
+		// Replication count of the lane-0 anchor element. This used to
+		// take the first value out of map iteration order — well-defined
+		// only by the accident that the paper's mappings replicate every
+		// element equally (simlint determinism finding, PR 6).
+		copies := m.LoadCounts()[m.Lanes[0][0]]
 		prog := sass.ExpandLoad(m, 16)
 		var ops []string
 		for _, in := range prog {
@@ -91,11 +91,9 @@ func Fig8(Options) (*Table, error) {
 					}
 					slices[s] = true
 				}
-				copies := 0
-				for _, n := range m.LoadCounts() {
-					copies = n
-					break
-				}
+				// Anchor-element replication count, not map-iteration
+				// order (see the Volta table above).
+				copies := m.LoadCounts()[m.Lanes[0][0]]
 				t.AddRow(sh.String(), op.String(), e.String(),
 					fmtI(uint64(m.FragmentLen())), fmtI(uint64(len(slices))), fmtI(uint64(copies)))
 			}

@@ -55,9 +55,10 @@ func RunAll(exps []Experiment, opt Options, emit func(Result)) []Result {
 		// tables and blocks while its points run on the shared pool.
 		go func(i int, e Experiment) {
 			defer wg.Done()
+			//simlint:wallclock Elapsed is stderr progress diagnostics only; it never reaches Stats or tables
 			start := time.Now()
 			tb, err := runSafely(e, opt)
-			r := Result{Experiment: e, Table: tb, Err: err, Elapsed: time.Since(start)}
+			r := Result{Experiment: e, Table: tb, Err: err, Elapsed: time.Since(start)} //simlint:wallclock same diagnostic timing
 			mu.Lock()
 			defer mu.Unlock()
 			results[i] = r

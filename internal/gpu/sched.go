@@ -74,6 +74,7 @@ type gtoPolicy struct{}
 
 func (gtoPolicy) preferred(sc *subcore) int { return sc.greedy }
 
+//simlint:hotpath
 func (gtoPolicy) pick(sc *subcore, _ uint64, ready, buf []int) []int {
 	g := sc.greedy
 	n := len(sc.warps)
@@ -258,6 +259,8 @@ func (twoLevelPolicy) retired(sc *subcore, w *simWarp) {
 // stepSubcore lets the sub-core's scheduler issue at most one warp
 // instruction. Returns whether one issued and the earliest cycle at which
 // a currently blocked warp could become issuable.
+//
+//simlint:hotpath
 func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued bool, wake uint64, err error) {
 	wake = math.MaxUint64
 	if len(sc.warps) == 0 {
@@ -317,6 +320,8 @@ func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued bool, wake 
 // screen is shared by every policy (LRR used to rebuild the full
 // candidate order unconditionally); warps still stalled contribute their
 // wake cycle so the idle fast-forward matches the event-driven path.
+//
+//simlint:hotpath
 func (sc *subcore) scanReady(now uint64, wake *uint64) []int {
 	buf := sc.readyBuf[:0]
 	for idx, w := range sc.warps {
@@ -338,6 +343,8 @@ func (sc *subcore) scanReady(now uint64, wake *uint64) []int {
 // of: issued (an instruction went out), or blocked with wake holding the
 // earliest cycle the warp could become issuable (MaxUint64 when it has
 // none). Scoreboard hazards move the warp to Stalled as a side effect.
+//
+//simlint:hotpath
 func (m *sm) tryWarp(sc *subcore, idx int, now uint64, st *Stats) (issued bool, wake uint64, err error) {
 	wake = math.MaxUint64
 	w := sc.warps[idx]

@@ -171,6 +171,8 @@ func (sc *subcore) finish(w *simWarp) {
 
 // drainWake moves every Stalled warp whose wake cycle has arrived back to
 // the ready set.
+//
+//simlint:hotpath
 func (sc *subcore) drainWake(now uint64) {
 	for len(sc.wakeHeap) > 0 && sc.wakeHeap[0].at <= now {
 		sc.setReady(sc.heapPop().w)
@@ -185,6 +187,7 @@ func (sc *subcore) heapTop() uint64 {
 	return sc.wakeHeap[0].at
 }
 
+//simlint:hotpath
 func (sc *subcore) heapPush(at uint64, w *simWarp) {
 	h := append(sc.wakeHeap, wakeEntry{at, w})
 	for i := len(h) - 1; i > 0; {
@@ -198,6 +201,7 @@ func (sc *subcore) heapPush(at uint64, w *simWarp) {
 	sc.wakeHeap = h
 }
 
+//simlint:hotpath
 func (sc *subcore) heapPop() wakeEntry {
 	h := sc.wakeHeap
 	top := h[0]
@@ -223,6 +227,8 @@ func (sc *subcore) heapPop() wakeEntry {
 }
 
 // readySlots lists the ready warps' slots in ascending order.
+//
+//simlint:hotpath
 func (sc *subcore) readySlots() []int {
 	buf := sc.readyBuf[:0]
 	for wi, word := range sc.readyMask {
@@ -275,6 +281,8 @@ func (w *simWarp) issuable(now uint64) bool {
 
 // operandsReady checks the scoreboard for RAW and WAW hazards, on the
 // decoded instruction's precomputed register list.
+//
+//simlint:hotpath
 func (w *simWarp) operandsReady(in *ptx.DInstr, now uint64) (bool, uint64) {
 	latest := uint64(0)
 	for _, id := range in.ScoreboardRegs() {

@@ -43,6 +43,8 @@ const (
 // classifyVec inspects the masked lanes once. Uniform holds for any mask;
 // unit-stride is only claimed for fully active warps (a mask gap breaks
 // byte-range contiguity); sorted is the weakest useful property.
+//
+//simlint:hotpath
 func classifyVec(v *AddrVec, bytes uint64) vecShape {
 	a := v.Addr
 	if v.Mask == fullMask {
@@ -118,6 +120,8 @@ func CoalesceVecs(cfg Config, vecs []AddrVec) []uint64 {
 
 // coalesceVecsInto is CoalesceVecs appending into a reusable buffer with
 // a reusable dedup set.
+//
+//simlint:hotpath
 func coalesceVecsInto(out []uint64, set *sectorSet, cfg Config, vecs []AddrVec) []uint64 {
 	sec := uint64(cfg.SectorBytes)
 	if len(vecs) == 1 {
@@ -143,6 +147,8 @@ func coalesceVecsInto(out []uint64, set *sectorSet, cfg Config, vecs []AddrVec) 
 
 // coalesceOneVec dispatches a single non-empty group on its classified
 // shape.
+//
+//simlint:hotpath
 func coalesceOneVec(out []uint64, set *sectorSet, sec uint64, v *AddrVec) []uint64 {
 	bytes := vecBytes(v.Bits)
 	switch classifyVec(v, bytes) {
@@ -350,6 +356,8 @@ func sharedConflictPassesVecs(cs *conflictScratch, bs *bankScratch, cfg Config, 
 // whose first half is unit-stride (row fragments read twice) — and
 // computes their pass count arithmetically. Returns 0 when the shape is
 // not recognized.
+//
+//simlint:hotpath
 func conflictFullWarpFast(v *AddrVec, bytes uint64) int {
 	a := v.Addr
 	// Mirrored halves: lanes 16..31 repeat lanes 0..15, so the second

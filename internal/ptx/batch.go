@@ -94,6 +94,8 @@ func expandBatch(out []Access, batch []WarpAccess) []Access {
 // unguarded warp, classified at decode time — indexes the register file
 // directly; everything else goes through the per-lane guard and operand
 // resolution.
+//
+//simlint:hotpath
 func (w *Warp) genLdStAddrs(d *DInstr, wa *WarpAccess) {
 	nr := w.Kernel.NumRegs
 	if ar := int(d.addrReg); ar >= 0 && d.predID < 0 && w.nLanes == 32 {
@@ -168,6 +170,8 @@ func (w *Warp) resolveBatchSpace(res *Result, gi int) {
 // space resolution, then bulk data movement — a single read for a
 // uniform broadcast, one read per maximal unit-stride lane run for
 // everything else global, and direct slice reads for shared memory.
+//
+//simlint:hotpath
 func (w *Warp) execLoadBatched(d *DInstr, res *Result) {
 	var wa *WarpAccess
 	res.Batch, wa = appendBatchSlot(res.Batch)
@@ -187,6 +191,8 @@ func (w *Warp) execLoadBatched(d *DInstr, res *Result) {
 
 // loadGroup moves one group's data from memory into the destination
 // registers.
+//
+//simlint:hotpath
 func (w *Warp) loadGroup(d *DInstr, g *WarpAccess) {
 	nr := w.Kernel.NumRegs
 	nb := uint64(d.membytes)
@@ -244,6 +250,8 @@ func (w *Warp) unpackLoad(d *DInstr, base int, src []byte) {
 }
 
 // execStoreBatched is execStore on the batched path.
+//
+//simlint:hotpath
 func (w *Warp) execStoreBatched(d *DInstr, res *Result) {
 	var wa *WarpAccess
 	res.Batch, wa = appendBatchSlot(res.Batch)
@@ -265,6 +273,8 @@ func (w *Warp) execStoreBatched(d *DInstr, res *Result) {
 // is preserved (within a run addresses are disjoint; runs are emitted in
 // lane order), so overlapping stores resolve exactly as the per-lane
 // path does: last lane wins.
+//
+//simlint:hotpath
 func (w *Warp) storeGroup(d *DInstr, g *WarpAccess) {
 	nr := w.Kernel.NumRegs
 	nb := uint64(d.membytes)

@@ -94,6 +94,8 @@ func (w *Warp) fragVec(d *DInstr) bool {
 // plan's factored offsets — the same arithmetic as the per-lane path
 // (memOffsetFor), so the two paths produce bit-identical addresses for
 // any stride, including pathological ones.
+//
+//simlint:hotpath
 func (w *Warp) fragLaneAddrs(p *fragPlan, lane, ld int, base, elemBytes uint64) []uint64 {
 	addrs := w.laneAddrs(p.slots)
 	for s := 0; s < p.slots; s++ {
@@ -168,6 +170,8 @@ func (w *Warp) fragRunUniform(space Space, run []uint64, nb, total uint64, sp Sp
 // into a single state space, else the per-element fallback (a run
 // straddling or containing the generic shared-window boundary must read
 // each element where the per-lane path would).
+//
+//simlint:hotpath
 func (w *Warp) loadFragRun(d *DInstr, lane int, run []uint64, slot0 int, nb uint64, signExt bool) {
 	in := d.In
 	total := uint64(len(run)) * nb
@@ -231,6 +235,8 @@ func (w *Warp) execWmmaStoreVec(d *DInstr, res *Result, base, stride uint64) {
 // storeFragRun packs one lane's run of consecutive fragment elements
 // and writes it with a single Env write when the run resolves into one
 // state space, else element by element.
+//
+//simlint:hotpath
 func (w *Warp) storeFragRun(d *DInstr, base, lane int, run []uint64, slot0 int, nb uint64) {
 	in := d.In
 	total := uint64(len(run)) * nb
@@ -271,6 +277,8 @@ func packFragElem(dst []byte, nb, v uint64) {
 // copies (Volta A/B hold every element in two lanes) must agree — the
 // wmma architectural invariant wmma.load establishes — so the write
 // order between the two paths is immaterial.
+//
+//simlint:hotpath
 func (w *Warp) gatherTileVec(d *DInstr, p *fragPlan, srcOff int, elem wmma.Precision, slot int) *tensor.Matrix {
 	t := w.scratchTile(p.rows, p.cols, slot)
 	nr := w.Kernel.NumRegs
@@ -298,6 +306,8 @@ func (w *Warp) gatherTileVec(d *DInstr, p *fragPlan, srcOff int, elem wmma.Preci
 // scatterTileVec is the batched D scatter: the inverse of
 // gatherTileVec, writing encoded tile elements into the per-slot
 // destination registers.
+//
+//simlint:hotpath
 func (w *Warp) scatterTileVec(d *DInstr, p *fragPlan, elem wmma.Precision, t *tensor.Matrix) {
 	nr := w.Kernel.NumRegs
 	for s := 0; s < p.slots; s++ {

@@ -169,6 +169,7 @@ func (m *Mapping) LoadWidthsBits(ld int) []int {
 		seen[bits] = true
 	}
 	var out []int
+	//simlint:ordered set members are sorted below before returning
 	for b := range seen {
 		out = append(out, b)
 	}
