@@ -240,8 +240,7 @@ func BenchmarkAblationDecodedALU(b *testing.B) {
 			name = "interpreted"
 		}
 		b.Run(name, func(b *testing.B) {
-			ptx.InterpretALU(interp)
-			defer ptx.InterpretALU(false)
+			defer ptx.SwapInterpretALU(interp)()
 			for i := 0; i < b.N; i++ {
 				l, err := kernels.SGEMMSimt(128, 128, 128)
 				if err != nil {
@@ -285,8 +284,7 @@ func BenchmarkAblationBatchedMem(b *testing.B) {
 				name = w.name + "/legacy"
 			}
 			b.Run(name, func(b *testing.B) {
-				ptx.LegacyAccessPath(legacy)
-				defer ptx.LegacyAccessPath(false)
+				defer ptx.SwapLegacyAccessPath(legacy)()
 				for i := 0; i < b.N; i++ {
 					l, err := w.build()
 					if err != nil {
@@ -339,8 +337,7 @@ func BenchmarkAblationBatchedWMMA(b *testing.B) {
 				name = w.name + "/legacy"
 			}
 			b.Run(name, func(b *testing.B) {
-				ptx.LegacyFragmentPath(legacy)
-				defer ptx.LegacyFragmentPath(false)
+				defer ptx.SwapLegacyFragmentPath(legacy)()
 				for i := 0; i < b.N; i++ {
 					l, err := kernels.WMMAGemmShared(w.prec, w.m, w.n, w.k)
 					if err != nil {
@@ -410,8 +407,7 @@ func BenchmarkAblationReadySet(b *testing.B) {
 				name = w.name + "/scan"
 			}
 			b.Run(name, func(b *testing.B) {
-				gpu.ScanScheduler(scan)
-				defer gpu.ScanScheduler(false)
+				defer gpu.SwapScanScheduler(scan)()
 				for i := 0; i < b.N; i++ {
 					w.run(b)
 				}

@@ -1,8 +1,8 @@
 // Package analysis is simlint's static-analysis core: a small,
 // stdlib-only framework in the shape of golang.org/x/tools/go/analysis
-// (Analyzer / Pass / Diagnostic), plus the four analyzers that turn the
-// simulator's reproducibility conventions into mechanically enforced
-// invariants:
+// (Analyzer / Pass / Diagnostic), plus the seven analyzers that turn the
+// simulator's reproducibility and concurrency conventions into
+// mechanically enforced invariants:
 //
 //   - determinism:  no wall clocks, unseeded randomness, map-order leaks
 //     or map formatting in simulator packages (the purity the
@@ -14,15 +14,29 @@
 //     exercised by tests in both positions
 //   - statcomplete: every numeric gpu.Stats counter reaches a
 //     //simlint:emitter report function
+//   - globalmut:    simulator packages do not write package-level state
+//     outside init; process-global equivalence knobs are atomic,
+//     declared with //simlint:processknob, and written only through
+//     their setter/Swap helper (tests must use the Swap helper)
+//   - frozen:       //simlint:frozen types (decoded DInstr programs,
+//     fragPlans, wmma mappings) are field-written only in their
+//     same-package //simlint:ctor constructor set — the shared-read-only
+//     contract the concurrent serving path depends on
+//   - guardedby:    //simlint:guardedby mu fields are accessed only
+//     under a syntactic mu.Lock() / defer mu.Unlock() scope
 //
 // The framework is intentionally dependency-free: the container pins the
 // module graph, so the x/tools analysis driver is reimplemented here on
 // go/ast + go/types, with package loading via `go list -export` (see
 // load.go). Directives use the grammar documented in DESIGN.md
-// ("Enforced invariants"):
+// ("Enforced invariants" and "Concurrency invariants"):
 //
 //	//simlint:hotpath
 //	//simlint:emitter
+//	//simlint:frozen
+//	//simlint:ctor
+//	//simlint:guardedby <mutex field>
+//	//simlint:processknob <justification>
 //	//simlint:ordered <justification>
 //	//simlint:wallclock <justification>
 //	//simlint:ok <justification>
@@ -81,7 +95,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full simlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DeterminismAnalyzer, HotpathAnalyzer, KnobpairAnalyzer, StatcompleteAnalyzer}
+	return []*Analyzer{
+		DeterminismAnalyzer, HotpathAnalyzer, KnobpairAnalyzer, StatcompleteAnalyzer,
+		GlobalmutAnalyzer, FrozenAnalyzer, GuardedbyAnalyzer,
+	}
 }
 
 // RunSuite runs the analyzers over every package of the module
@@ -157,6 +174,20 @@ var simulatorPackages = map[string]bool{
 // InSimulatorScope reports whether the determinism/statcomplete
 // contracts apply to the package.
 func InSimulatorScope(pkgPath string) bool { return simulatorPackages[pkgPath] }
+
+// fixturePath reports whether the import path is an analyzer fixture
+// package. Fixtures are invisible to ./... sweeps (the go tool skips
+// testdata), but the CI fixture-hygiene step runs cmd/simlint over them
+// explicitly, so the scoped analyzers must accept them.
+func fixturePath(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/testdata/src/")
+}
+
+// simulatorOrFixture is the scope of the simulator-package contracts
+// (determinism, globalmut), extended to explicitly listed fixtures.
+func simulatorOrFixture(pkgPath string) bool {
+	return InSimulatorScope(pkgPath) || fixturePath(pkgPath)
+}
 
 // Directive is one parsed //simlint: comment.
 type Directive struct {

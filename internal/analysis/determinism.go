@@ -33,7 +33,7 @@ import (
 var DeterminismAnalyzer = &Analyzer{
 	Name:  "determinism",
 	Doc:   "forbid wall clocks, unseeded randomness and map-order leaks in simulator packages",
-	Scope: InSimulatorScope,
+	Scope: simulatorOrFixture,
 	Run:   runDeterminism,
 }
 

@@ -23,6 +23,23 @@ func Warm() {
 // plain comment, not a directive
 // simlint:ordered (space after // — not a directive either)
 func Cold() {}
+
+// Frozen is documented.
+//
+//simlint:frozen
+type Frozen struct {
+	mu int
+	//simlint:guardedby mu
+	guarded int
+	plain   int
+}
+
+type Thawed struct{ n int }
+
+//simlint:processknob equivalence knob justification
+var knob int
+
+var bare int
 `
 
 func parseDirectiveSrc(t *testing.T) (*token.FileSet, *ast.File, map[int][]Directive) {
@@ -51,8 +68,8 @@ func TestFileDirectives(t *testing.T) {
 	for _, ds := range dirs {
 		got = append(got, ds...)
 	}
-	if len(got) != 3 {
-		t.Fatalf("parsed %d directives, want 3: %+v", len(got), got)
+	if len(got) != 6 {
+		t.Fatalf("parsed %d directives, want 6: %+v", len(got), got)
 	}
 	byName := map[string]Directive{}
 	for _, d := range got {
@@ -86,6 +103,82 @@ func TestFuncDirective(t *testing.T) {
 		}
 		if got := funcDirective(dirs, fset, fd, w.directive); got != w.has {
 			t.Errorf("funcDirective(%s, %q) = %v, want %v", name, w.directive, got, w.has)
+		}
+	}
+}
+
+// findType returns the GenDecl/TypeSpec pair of a named type.
+func findType(f *ast.File, name string) (*ast.GenDecl, *ast.TypeSpec) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+				return gd, ts
+			}
+		}
+	}
+	return nil, nil
+}
+
+func TestTypeDirective(t *testing.T) {
+	fset, f, dirs := parseDirectiveSrc(t)
+	for name, want := range map[string]bool{"Frozen": true, "Thawed": false} {
+		gd, ts := findType(f, name)
+		if ts == nil {
+			t.Fatalf("type %s not found", name)
+		}
+		if got := typeDirective(dirs, fset, gd, ts, "frozen"); got != want {
+			t.Errorf("typeDirective(%s, frozen) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestDeclDirective(t *testing.T) {
+	fset, f, dirs := parseDirectiveSrc(t)
+	found := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, name := range vs.Names {
+				found++
+				d, ok := declDirective(dirs, fset, gd, vs, name, "processknob")
+				switch name.Name {
+				case "knob":
+					if !ok || d.Arg != "equivalence knob justification" {
+						t.Errorf("knob: directive = %+v, ok = %v", d, ok)
+					}
+				case "bare":
+					if ok {
+						t.Errorf("bare: unexpected processknob directive %+v", d)
+					}
+				}
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("walked %d var names, want 2", found)
+	}
+}
+
+func TestFieldLineDirective(t *testing.T) {
+	fset, f, dirs := parseDirectiveSrc(t)
+	_, ts := findType(f, "Frozen")
+	st := ts.Type.(*ast.StructType)
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			d, ok := fieldLineDirective(dirs, fset, name, "guardedby")
+			if want := name.Name == "guarded"; ok != want {
+				t.Errorf("fieldLineDirective(%s) = %v, want %v", name.Name, ok, want)
+			} else if ok && d.Arg != "mu" {
+				t.Errorf("guarded: arg = %q, want mu", d.Arg)
+			}
 		}
 	}
 }

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The frozen analyzer. The decoded artifacts — DInstr programs cached on
+// the Kernel, fragPlans, wmma.Mapping and its SlotVecs view — are built
+// once and then shared by every warp of every simulator instance. The
+// ROADMAP's serving frontier shares them across goroutines too, which is
+// only sound if "shared read-only" is a property of the code, not a
+// comment. Types annotated //simlint:frozen get exactly that: their
+// fields may be written only inside same-package functions annotated
+// //simlint:ctor (the constructor set that builds the value before it
+// escapes). Any other field write — any package, any function — is a
+// post-construction mutation and is flagged; an intentional one carries
+// //simlint:ok <why> on its line.
+//
+// The check is module-scoped because frozenness crosses package
+// boundaries: a package importing wmma must not write Mapping.Lanes even
+// though the field is exported. Writes through an aliased pointer
+// (p := &d.srcs[0]; p.reg = 1) are outside the syntactic reach of the
+// analyzer — the house rule is that constructor code does not create
+// such aliases for callers.
+var FrozenAnalyzer = &Analyzer{
+	Name:      "frozen",
+	Doc:       "forbid field writes to //simlint:frozen types outside their //simlint:ctor constructor set",
+	RunModule: runFrozen,
+}
+
+func runFrozen(m *Module, report func(Diagnostic)) {
+	// frozen[types.TypeName] marks annotated type declarations,
+	// module-wide, so cross-package writes resolve to the same object via
+	// the export-data importer's path+name identity.
+	frozen := map[string]*Package{} // "pkgpath.TypeName" -> defining package
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			dirs := FileDirectives(pkg.Fset, f)
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !typeDirective(dirs, pkg.Fset, gd, ts, "frozen") {
+						continue
+					}
+					frozen[pkg.Path+"."+ts.Name.Name] = pkg
+				}
+			}
+		}
+	}
+	if len(frozen) == 0 {
+		return
+	}
+
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			dirs := FileDirectives(pkg.Fset, f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				isCtor := funcDirective(dirs, pkg.Fset, fd, "ctor")
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range n.Lhs {
+							checkFrozenWrite(pkg, dirs, frozen, isCtor, fd, lhs, report)
+						}
+					case *ast.IncDecStmt:
+						checkFrozenWrite(pkg, dirs, frozen, isCtor, fd, n.X, report)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// checkFrozenWrite unwraps index/star/paren wrappers on the write target
+// and flags it when the innermost selector selects a field of a frozen
+// type outside that type's constructor set.
+func checkFrozenWrite(pkg *Package, dirs map[int][]Directive, frozen map[string]*Package, isCtor bool, fd *ast.FuncDecl, lhs ast.Expr, report func(Diagnostic)) {
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		}
+		break
+	}
+	se, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	sel := pkg.Info.Selections[se]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	recv := sel.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	defPkg, isFrozen := frozen[key]
+	if !isFrozen {
+		return
+	}
+	if isCtor && defPkg == pkg {
+		return // same-package constructor set
+	}
+	if suppressed(dirs, pkg.Fset, lhs.Pos(), "ok") {
+		return
+	}
+	msg := named.Obj().Name() + "." + se.Sel.Name + " is written outside the //simlint:ctor constructor set; frozen types are shared read-only after construction"
+	if isCtor && defPkg != pkg {
+		msg = named.Obj().Name() + "." + se.Sel.Name + " is written by a foreign-package constructor; the frozen constructor set is same-package only"
+	}
+	report(Diagnostic{
+		Pos:      pkg.Fset.Position(lhs.Pos()),
+		Analyzer: "frozen",
+		Message:  msg,
+	})
+}
+
+// typeDirective reports whether a type declaration carries the
+// directive: on the TypeSpec's or GenDecl's doc lines, the line above
+// the declaration, or the declaration's own line.
+func typeDirective(dirs map[int][]Directive, fset *token.FileSet, gd *ast.GenDecl, ts *ast.TypeSpec, name string) bool {
+	first := fset.Position(gd.Pos()).Line - 1
+	if gd.Doc != nil {
+		first = fset.Position(gd.Doc.Pos()).Line
+	}
+	if ts.Doc != nil {
+		if l := fset.Position(ts.Doc.Pos()).Line; l < first {
+			first = l
+		}
+	}
+	last := fset.Position(ts.Name.Pos()).Line
+	for line := first; line <= last; line++ {
+		for _, d := range dirs[line] {
+			if d.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}

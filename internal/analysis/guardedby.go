@@ -1,0 +1,400 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The guardedby analyzer. A field annotated
+//
+//	//simlint:guardedby mu
+//
+// (where mu is a sync.Mutex or sync.RWMutex field of the same struct)
+// may be read or written only at points where the matching mutex is
+// syntactically held: an earlier x.mu.Lock() in the same or an
+// enclosing block, not yet released by x.mu.Unlock(); defer
+// x.mu.Unlock() holds to function end. The base expression must match
+// textually — s.mu.Lock() guards s.results, not t.results — and
+// function literals start with an empty lock set (they run later, on
+// some other goroutine's schedule).
+//
+// The tracking is deliberately syntactic and strict ("every path"):
+// a lock acquired inside a branch does not count after the branch
+// joins, and a conditional Unlock is assumed to have released. Code
+// that is correct for a subtler reason carries //simlint:ok <why> on
+// the access line.
+var GuardedbyAnalyzer = &Analyzer{
+	Name:      "guardedby",
+	Doc:       "require //simlint:guardedby fields to be accessed only under the named mutex",
+	RunModule: runGuardedby,
+}
+
+// guardedField records one annotation: the field and its mutex sibling.
+type guardedField struct {
+	mu string // mutex field name within the same struct
+}
+
+func runGuardedby(m *Module, report func(Diagnostic)) {
+	// guarded["pkgpath.Type.field"] -> mutex field name.
+	guarded := map[string]guardedField{}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			dirs := FileDirectives(pkg.Fset, f)
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					collectGuarded(pkg, dirs, ts.Name.Name, st, guarded, report)
+				}
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			dirs := FileDirectives(pkg.Fset, f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &lockWalker{pkg: pkg, dirs: dirs, guarded: guarded, report: report}
+				w.block(fd.Body, map[string]bool{})
+			}
+		}
+	}
+}
+
+// collectGuarded records the annotated fields of one struct and
+// validates each annotation against its sibling mutex.
+func collectGuarded(pkg *Package, dirs map[int][]Directive, typeName string, st *ast.StructType, guarded map[string]guardedField, report func(Diagnostic)) {
+	fieldNames := map[string]ast.Expr{}
+	for _, fl := range st.Fields.List {
+		for _, name := range fl.Names {
+			fieldNames[name.Name] = fl.Type
+		}
+	}
+	for _, fl := range st.Fields.List {
+		for _, name := range fl.Names {
+			d, ok := fieldLineDirective(dirs, pkg.Fset, name, "guardedby")
+			if !ok {
+				continue
+			}
+			if d.Arg == "" {
+				report(Diagnostic{
+					Pos:      pkg.Fset.Position(name.Pos()),
+					Analyzer: "guardedby",
+					Message:  "//simlint:guardedby needs the mutex field name: //simlint:guardedby mu",
+				})
+				continue
+			}
+			muType, ok := fieldNames[d.Arg]
+			if !ok || !isMutexType(pkg, muType) {
+				report(Diagnostic{
+					Pos:      pkg.Fset.Position(name.Pos()),
+					Analyzer: "guardedby",
+					Message:  "//simlint:guardedby " + d.Arg + " does not name a sync.Mutex/RWMutex field of " + typeName,
+				})
+				continue
+			}
+			guarded[pkg.Path+"."+typeName+"."+name.Name] = guardedField{mu: d.Arg}
+		}
+	}
+}
+
+// fieldLineDirective finds a directive on the field's line or the line
+// directly above it.
+func fieldLineDirective(dirs map[int][]Directive, fset *token.FileSet, name *ast.Ident, want string) (Directive, bool) {
+	line := fset.Position(name.Pos()).Line
+	for _, d := range dirs[line] {
+		if d.Name == want {
+			return d, true
+		}
+	}
+	for _, d := range dirs[line-1] {
+		if d.Name == want {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+func isMutexType(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockWalker tracks the syntactically held lock set through one
+// function body. Keys are rendered lock expressions ("s.mu").
+type lockWalker struct {
+	pkg     *Package
+	dirs    map[int][]Directive
+	guarded map[string]guardedField
+	report  func(Diagnostic)
+}
+
+// block processes the statements of a block in order, mutating held;
+// nested control-flow bodies get a copy, so locks acquired inside a
+// branch do not leak past the join, and a branch's Unlock is modeled by
+// conservatively removing the lock at the join as well (handled by the
+// copy: release inside a branch only affects the branch — strictness
+// comes from accesses being checked against the set in effect at the
+// access point).
+func (w *lockWalker) block(b *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range b.List {
+		w.stmt(stmt, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lockCallKey(s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				w.checkExpr(s.X, held) // the receiver chain itself may touch guarded fields
+				held[key] = true
+				return
+			case "Unlock", "RUnlock":
+				delete(held, key)
+				return
+			}
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		if _, op, ok := lockCallKey(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return // defer x.mu.Unlock(): held to function end; no change
+		}
+		w.checkExpr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.block(s.Body, cloneSet(held))
+		if s.Else != nil {
+			w.stmt(s.Else, cloneSet(held))
+		}
+	case *ast.ForStmt:
+		inner := cloneSet(held)
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, inner)
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+		w.block(s.Body, inner)
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		w.block(s.Body, cloneSet(held))
+	case *ast.BlockStmt:
+		w.block(s, cloneSet(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			inner := cloneSet(held)
+			for _, e := range cc.List {
+				w.checkExpr(e, inner)
+			}
+			for _, st := range cc.Body {
+				w.stmt(st, inner)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			inner := cloneSet(held)
+			for _, st := range cc.Body {
+				w.stmt(st, inner)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := cloneSet(held)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, inner)
+			}
+			for _, st := range cc.Body {
+				w.stmt(st, inner)
+			}
+		}
+	case *ast.GoStmt:
+		w.checkExpr(s.Call, map[string]bool{})
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, held)
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkExpr scans an expression for guarded-field selections and
+// function literals. Literals are checked with an empty lock set: they
+// execute later, when the enclosing critical section may be over.
+func (w *lockWalker) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.block(n.Body, map[string]bool{})
+			return false
+		case *ast.SelectorExpr:
+			w.checkSelector(n, held)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) checkSelector(se *ast.SelectorExpr, held map[string]bool) {
+	sel := w.pkg.Info.Selections[se]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	recv := sel.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + se.Sel.Name
+	gf, ok := w.guarded[key]
+	if !ok {
+		return
+	}
+	base := exprKey(se.X)
+	if base != "" && held[base+"."+gf.mu] {
+		return
+	}
+	if suppressed(w.dirs, w.pkg.Fset, se.Pos(), "ok") {
+		return
+	}
+	w.report(Diagnostic{
+		Pos:      w.pkg.Fset.Position(se.Pos()),
+		Analyzer: "guardedby",
+		Message: named.Obj().Name() + "." + se.Sel.Name + " is guarded by " + gf.mu +
+			" but accessed without " + renderBase(base) + gf.mu + ".Lock() held on every path",
+	})
+}
+
+func renderBase(base string) string {
+	if base == "" {
+		return ""
+	}
+	return base + "."
+}
+
+// lockCallKey matches x.mu.Lock()/Unlock()/RLock()/RUnlock() and
+// returns the rendered lock key ("x.mu") and the operation.
+func lockCallKey(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	key = exprKey(sel.X)
+	if key == "" {
+		return "", "", false
+	}
+	return key, sel.Sel.Name, true
+}
+
+// exprKey renders a simple base expression (ident, selector chain,
+// pointer deref) to a comparable string; "" for anything else.
+func exprKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	}
+	return ""
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

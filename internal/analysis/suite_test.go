@@ -30,6 +30,21 @@ func TestStatcompleteNoEmitterFixture(t *testing.T) {
 	analysistest.Run(t, moduleRoot, analysis.StatcompleteAnalyzer, "./internal/analysis/testdata/src/statnoemitter")
 }
 
+func TestGlobalmutFixture(t *testing.T) {
+	analysistest.Run(t, moduleRoot, analysis.GlobalmutAnalyzer, "./internal/analysis/testdata/src/globalmut")
+}
+
+// The frozen fixture is two packages (the /... pattern): the defining
+// package plus a foreign package pinning that the constructor set does
+// not cross package boundaries.
+func TestFrozenFixture(t *testing.T) {
+	analysistest.Run(t, moduleRoot, analysis.FrozenAnalyzer, "./internal/analysis/testdata/src/frozen/...")
+}
+
+func TestGuardedbyFixture(t *testing.T) {
+	analysistest.Run(t, moduleRoot, analysis.GuardedbyAnalyzer, "./internal/analysis/testdata/src/guardedby")
+}
+
 // TestRepoSweepClean is the in-tree lint gate: the full suite over the
 // whole module must come back empty. CI additionally runs cmd/simlint
 // directly so findings land in the job summary with file:line

@@ -1,0 +1,64 @@
+// Package frozen is the simlint frozen fixture: a frozen decoded
+// artifact built by its constructor set, mutated post-construction in
+// each flagged shape, and a thawed type pinning that the rule does not
+// overreach.
+package frozen
+
+// Plan is a frozen decoded artifact, shaped like the real fragPlans
+// and DInstr programs: built once, shared read-only afterwards.
+//
+//simlint:frozen
+type Plan struct {
+	ID    int
+	Elems []int32
+}
+
+// NewPlan is in the constructor set: its writes are construction.
+//
+//simlint:ctor
+func NewPlan(n int) *Plan {
+	p := &Plan{ID: n}
+	p.Elems = make([]int32, n)
+	for i := range p.Elems {
+		p.Elems[i] = int32(i)
+	}
+	fill(p, 1)
+	return p
+}
+
+// fill is a constructor-set helper writing through a parameter, the
+// decodeInstr shape.
+//
+//simlint:ctor
+func fill(p *Plan, base int32) {
+	for i := range p.Elems {
+		p.Elems[i] += base
+	}
+}
+
+// Mutate writes frozen fields post-construction.
+func Mutate(p *Plan) {
+	p.ID = 7       // want "Plan.ID is written outside the //simlint:ctor constructor set"
+	p.Elems[0] = 1 // want "Plan.Elems is written outside the //simlint:ctor constructor set"
+	p.ID++         // want "Plan.ID is written outside the //simlint:ctor constructor set"
+}
+
+// Rekey carries a justified escape.
+func Rekey(p *Plan) {
+	p.ID = 9 //simlint:ok fixture: demonstrates the justified escape
+}
+
+// Read-only use and whole-value copies are allowed.
+func Sum(p *Plan) int32 {
+	var s int32
+	for _, e := range p.Elems {
+		s += e
+	}
+	return s + int32(p.ID)
+}
+
+// Scratch is not frozen: writes anywhere are allowed.
+type Scratch struct{ N int }
+
+// Bump mutates the thawed type freely.
+func Bump(s *Scratch) { s.N++ }

@@ -1,0 +1,19 @@
+// Package sub pins the cross-package half of the frozen contract: a
+// foreign package may not mutate a frozen type even through a function
+// it annotates as a constructor — the constructor set is same-package
+// only.
+package sub
+
+import "repro/internal/analysis/testdata/src/frozen"
+
+// Rewrite claims ctor status from the wrong package.
+//
+//simlint:ctor
+func Rewrite(p *frozen.Plan) {
+	p.ID = 3 // want "Plan.ID is written by a foreign-package constructor"
+}
+
+// Mutate is a plain foreign mutation.
+func Mutate(p *frozen.Plan) {
+	p.ID = 4 // want "Plan.ID is written outside the //simlint:ctor constructor set"
+}

@@ -1,0 +1,14 @@
+package globalmut
+
+import "testing"
+
+// TestKnobPlumbing pins the test-file contract: direct setter calls
+// leak knob state across the test process; the Swap helper with a
+// registered restore is the sanctioned shape.
+func TestKnobPlumbing(t *testing.T) {
+	LegacyKnob(true) // want "flips a process-global knob for the rest of the test process"
+	t.Cleanup(SwapLegacyKnob(true))
+	defer SwapLegacyKnob(false)()
+	//simlint:ok fixture: demonstrates the justified direct call
+	LegacyKnob(false)
+}

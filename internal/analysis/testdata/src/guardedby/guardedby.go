@@ -1,0 +1,106 @@
+// Package guardedby is the simlint guardedby fixture: annotated fields
+// accessed under every lock-scope shape the syntactic tracker models,
+// plus the malformed-annotation diagnostics.
+package guardedby
+
+import "sync"
+
+// Pool is concurrency-shared state with mu-guarded fields.
+type Pool struct {
+	mu sync.Mutex
+	//simlint:guardedby mu
+	items []int
+	//simlint:guardedby mu
+	next int
+
+	done chan struct{} // unguarded: accessible anywhere
+}
+
+// Push locks on every path: allowed.
+func (p *Pool) Push(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.items = append(p.items, v)
+	p.next++
+}
+
+// Pop pairs Lock/Unlock explicitly: held between them, released after.
+func (p *Pool) Pop() int {
+	p.mu.Lock()
+	v := p.items[len(p.items)-1]
+	p.items = p.items[:len(p.items)-1]
+	p.mu.Unlock()
+	_ = v
+	return p.next // want "Pool.next is guarded by mu but accessed without p.mu.Lock"
+}
+
+// Racy reads without the lock.
+func (p *Pool) Racy() int {
+	return len(p.items) // want "Pool.items is guarded by mu"
+}
+
+// BranchLock acquires the lock on one path only: the join is unlocked.
+func (p *Pool) BranchLock(cond bool) int {
+	if cond {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.next // allowed: held on this path
+	}
+	return p.next // want "Pool.next is guarded by mu"
+}
+
+// Transfer locks one pool and touches another: the base must match.
+func Transfer(a, b *Pool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.next++
+	b.next++ // want "Pool.next is guarded by mu but accessed without b.mu.Lock"
+}
+
+// Leak returns a closure that outlives the critical section: function
+// literals start with an empty lock set.
+func (p *Pool) Leak() func() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return func() int { return p.next } // want "Pool.next is guarded by mu"
+}
+
+// Close touches only unguarded fields without the lock: allowed.
+func (p *Pool) Close() { close(p.done) }
+
+// SnapshotLen carries a justified lock-free read.
+func (p *Pool) SnapshotLen() int {
+	return len(p.items) //simlint:ok fixture: demonstrates the justified escape
+}
+
+// RW is guarded by a RWMutex; RLock scopes count as held.
+type RW struct {
+	mu sync.RWMutex
+	//simlint:guardedby mu
+	val int
+}
+
+// Get reads under RLock: allowed.
+func (r *RW) Get() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.val
+}
+
+// Peek skips the lock.
+func (r *RW) Peek() int {
+	return r.val // want "RW.val is guarded by mu"
+}
+
+// Bare has a directive with no mutex name.
+type Bare struct {
+	//simlint:guardedby
+	a int // want "needs the mutex field name"
+}
+
+// Odd names a sibling that is not a mutex.
+type Odd struct {
+	gate int
+	//simlint:guardedby gate
+	v int // want "does not name a sync.Mutex/RWMutex field of Odd"
+}

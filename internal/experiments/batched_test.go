@@ -30,8 +30,7 @@ func TestBatchedMatchesLegacyTables(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ptx.LegacyAccessPath(true)
-			defer ptx.LegacyAccessPath(false)
+			defer ptx.SwapLegacyAccessPath(true)()
 			legacy, err := e.Run(Options{Quick: true})
 			if err != nil {
 				t.Fatal(err)

@@ -30,8 +30,7 @@ func TestDecodedMatchesInterpretedTables(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ptx.InterpretALU(true)
-			defer ptx.InterpretALU(false)
+			defer ptx.SwapInterpretALU(true)()
 			interpreted, err := e.Run(Options{Quick: true})
 			if err != nil {
 				t.Fatal(err)

@@ -30,8 +30,7 @@ func TestFragmentPathMatchesLegacyTables(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ptx.LegacyFragmentPath(true)
-			defer ptx.LegacyFragmentPath(false)
+			defer ptx.SwapLegacyFragmentPath(true)()
 			legacy, err := e.Run(Options{Quick: true})
 			if err != nil {
 				t.Fatal(err)

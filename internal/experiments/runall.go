@@ -42,13 +42,8 @@ func RunAll(exps []Experiment, opt Options, emit func(Result)) []Result {
 	defer pool.close()
 	opt.pool = pool
 
-	results := make([]Result, len(exps))
-	done := make([]bool, len(exps))
-	var (
-		mu   sync.Mutex
-		next int
-		wg   sync.WaitGroup
-	)
+	st := newTableStreamer(len(exps), emit)
+	var wg sync.WaitGroup
 	for i, e := range exps {
 		wg.Add(1)
 		// One lightweight driver goroutine per experiment: it assembles
@@ -58,21 +53,51 @@ func RunAll(exps []Experiment, opt Options, emit func(Result)) []Result {
 			//simlint:wallclock Elapsed is stderr progress diagnostics only; it never reaches Stats or tables
 			start := time.Now()
 			tb, err := runSafely(e, opt)
-			r := Result{Experiment: e, Table: tb, Err: err, Elapsed: time.Since(start)} //simlint:wallclock same diagnostic timing
-			mu.Lock()
-			defer mu.Unlock()
-			results[i] = r
-			done[i] = true
-			for next < len(exps) && done[next] {
-				if emit != nil {
-					emit(results[next])
-				}
-				next++
-			}
+			st.record(i, Result{Experiment: e, Table: tb, Err: err, Elapsed: time.Since(start)}) //simlint:wallclock same diagnostic timing
 		}(i, e)
 	}
 	wg.Wait()
-	return results
+	return st.results //simlint:ok wg.Wait() above joined every driver goroutine; no concurrent writers remain
+}
+
+// tableStreamer collects per-experiment results from the driver
+// goroutines and replays them to emit in registry order: a table is
+// emitted as soon as it and all its predecessors have completed. The
+// simlint guardedby analyzer pins every field access to the mutex.
+type tableStreamer struct {
+	mu   sync.Mutex
+	emit func(Result) // called with mu held, in registry order; may be nil
+
+	//simlint:guardedby mu
+	results []Result
+	//simlint:guardedby mu
+	done []bool
+	// next is the first experiment index not yet emitted.
+	//simlint:guardedby mu
+	next int
+}
+
+func newTableStreamer(n int, emit func(Result)) *tableStreamer {
+	return &tableStreamer{
+		emit:    emit,
+		results: make([]Result, n),
+		done:    make([]bool, n),
+	}
+}
+
+// record stores one experiment's result and emits every consecutive
+// completed table starting at the replay cursor.
+func (s *tableStreamer) record(i int, r Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results[i] = r
+	s.done[i] = true
+	for s.next < len(s.results) && s.done[s.next] {
+		if s.emit != nil {
+			s.emit(s.results[s.next])
+		}
+		s.next++
+	}
 }
 
 // runSafely runs one experiment, converting a panic into an error so a

@@ -23,8 +23,7 @@ func TestScanSchedulerMatchesEventTables(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			gpu.ScanScheduler(true)
-			defer gpu.ScanScheduler(false)
+			defer gpu.SwapScanScheduler(true)()
 			scan, err := e.Run(Options{Quick: true})
 			if err != nil {
 				t.Fatal(err)

@@ -54,8 +54,7 @@ func TestBatchedAccessPathMatchesLegacyStats(t *testing.T) {
 
 func runAccessPath(t *testing.T, legacy bool, spec LaunchSpec) *Stats {
 	t.Helper()
-	ptx.LegacyAccessPath(legacy)
-	defer ptx.LegacyAccessPath(false)
+	defer ptx.SwapLegacyAccessPath(legacy)()
 	cfg := TitanV()
 	cfg.NumSMs = 2
 	sim, err := New(cfg)

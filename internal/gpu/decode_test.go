@@ -24,8 +24,7 @@ func TestDecodedStatsMatchInterpreted(t *testing.T) {
 	for name, build := range builds {
 		t.Run(name, func(t *testing.T) {
 			run := func(interpret bool) *gpu.Stats {
-				ptx.InterpretALU(interpret)
-				defer ptx.InterpretALU(false)
+				defer ptx.SwapInterpretALU(interpret)()
 				l, err := build() // kernels decode at Build, under the mode
 				if err != nil {
 					t.Fatal(err)

@@ -38,11 +38,11 @@ func TestFragmentPathMatchesLegacyStats(t *testing.T) {
 	}
 	for name, build := range cases {
 		t.Run(name, func(t *testing.T) {
-			// Cleanup, not an inline reset: a t.Fatal inside runFragPath
-			// must not leak the legacy access path into later tests.
-			t.Cleanup(func() { ptx.LegacyAccessPath(false) })
 			for _, legacyAccess := range []bool{false, true} {
-				ptx.LegacyAccessPath(legacyAccess)
+				// Cleanup, not an inline reset: a t.Fatal inside
+				// runFragPath must not leak the legacy access path
+				// into later tests.
+				t.Cleanup(ptx.SwapLegacyAccessPath(legacyAccess))
 				batched := runFragPath(t, false, build())
 				legacy := runFragPath(t, true, build())
 				if !reflect.DeepEqual(batched, legacy) {
@@ -59,8 +59,7 @@ func TestFragmentPathMatchesLegacyStats(t *testing.T) {
 
 func runFragPath(t *testing.T, legacy bool, spec LaunchSpec) *Stats {
 	t.Helper()
-	ptx.LegacyFragmentPath(legacy)
-	defer ptx.LegacyFragmentPath(false)
+	defer ptx.SwapLegacyFragmentPath(legacy)()
 	cfg := TitanV()
 	cfg.NumSMs = 2
 	sim, err := New(cfg)

@@ -19,12 +19,22 @@ import (
 // instead of consulting the incrementally maintained ready set. It exists
 // so tests can assert the event-driven bookkeeping is timing-preserving
 // (mirroring ptx.InterpretALU); production code never sets it.
+//
+//simlint:processknob equivalence knob: CLI plumbing and Swap-helper tests only, never flipped while simulators run
 var scanScheduler atomic.Bool
 
 // ScanScheduler switches Simulators constructed afterwards between the
 // event-driven ready-set scheduler (the default) and the legacy per-cycle
 // full scan. Tests use it to assert both produce identical Stats.
 func ScanScheduler(on bool) { scanScheduler.Store(on) }
+
+// SwapScanScheduler sets the knob and returns the restore that puts the
+// previous value back; the only sanctioned test shape
+// (defer gpu.SwapScanScheduler(true)() or t.Cleanup).
+func SwapScanScheduler(on bool) (restore func()) {
+	prev := scanScheduler.Swap(on)
+	return func() { scanScheduler.Store(prev) }
+}
 
 // schedPolicy orders a sub-core's ready warps for issue. Policies are
 // stateless singletons; their per-sub-core state (rotation anchor, active

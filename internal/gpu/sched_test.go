@@ -76,8 +76,7 @@ func schedCases() map[string]func() LaunchSpec {
 
 func runScheduled(t *testing.T, pol SchedulerPolicy, scan bool, spec LaunchSpec) *Stats {
 	t.Helper()
-	ScanScheduler(scan)
-	defer ScanScheduler(false)
+	defer SwapScanScheduler(scan)()
 	cfg := TitanV()
 	cfg.NumSMs = 2
 	cfg.Scheduler = pol

@@ -41,12 +41,25 @@ type WarpAccess struct {
 // semantics-preserving (bit-identical Stats and experiment tables) and
 // so the ablation benchmark can quantify the difference; production
 // code never sets it.
+//
+//simlint:processknob equivalence/ablation knob: CLI plumbing and Swap-helper tests only, never flipped while simulators run
 var legacyAccessPath atomic.Bool
 
 // LegacyAccessPath switches subsequently constructed warps between the
 // batched struct-of-arrays access path (the default) and the per-lane
 // legacy path, mirroring InterpretALU and gpu.ScanScheduler.
 func LegacyAccessPath(on bool) { legacyAccessPath.Store(on) }
+
+// SwapLegacyAccessPath sets the knob and returns the restore that puts
+// the previous value back. Tests must use this shape — registered with
+// defer or t.Cleanup — so a process-global knob can never leak across
+// parallel tests:
+//
+//	defer ptx.SwapLegacyAccessPath(true)()
+func SwapLegacyAccessPath(on bool) (restore func()) {
+	prev := legacyAccessPath.Swap(on)
+	return func() { legacyAccessPath.Store(prev) }
+}
 
 // appendBatchSlot extends the batch by one group without zeroing the
 // (mask-guarded, stale) lane addresses of a recycled backing array.

@@ -130,8 +130,7 @@ type batchRun struct {
 
 func runBatchTorture(t *testing.T, legacy bool, block Dim3) batchRun {
 	t.Helper()
-	LegacyAccessPath(legacy)
-	defer LegacyAccessPath(false)
+	defer SwapLegacyAccessPath(legacy)()
 	k := buildBatchTorture()
 	mem := NewFlatMemory(1 << 16)
 	for i := range mem.Data {
@@ -268,8 +267,7 @@ func wmmaLoadStoreKernel() *Kernel {
 // identical per-lane access list the legacy path emits.
 func TestBatchedWmmaMatchesLegacy(t *testing.T) {
 	step := func(legacy bool) ([]Access, []byte) {
-		LegacyAccessPath(legacy)
-		defer LegacyAccessPath(false)
+		defer SwapLegacyAccessPath(legacy)()
 		k := wmmaLoadStoreKernel()
 		mem := NewFlatMemory(4096)
 		for i := range mem.Data {

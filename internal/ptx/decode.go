@@ -50,6 +50,11 @@ type srcOp struct {
 // DInstr is the decoded, execution-ready form of one Instr. In points
 // back to the source instruction for the attributes execution does not
 // need per lane (wmma mappings, timing configuration, diagnostics).
+// Decoded programs are cached per kernel and shared by every warp and
+// every concurrent simulator, so the type is frozen: after decodeInstr
+// returns, nothing may write its fields.
+//
+//simlint:frozen
 type DInstr struct {
 	In    *Instr
 	Class DClass
@@ -100,6 +105,8 @@ func (d *DInstr) DstRegs() []int32 { return d.dsts }
 // interpreted path instead of the table-driven dispatch. It exists so
 // tests can verify the decoded cache is semantics-preserving; it affects
 // only kernels decoded after the toggle.
+//
+//simlint:processknob equivalence knob: CLI plumbing and Swap-helper tests only, never flipped while simulators run
 var interpretALU atomic.Bool
 
 // InterpretALU switches subsequently decoded kernels between the
@@ -107,6 +114,14 @@ var interpretALU atomic.Bool
 // interpreted path. Tests use it to assert both executions produce
 // identical results; production code never calls it.
 func InterpretALU(on bool) { interpretALU.Store(on) }
+
+// SwapInterpretALU sets the knob and returns the restore that puts the
+// previous value back; the only sanctioned test shape
+// (defer ptx.SwapInterpretALU(true)() or t.Cleanup).
+func SwapInterpretALU(on bool) (restore func()) {
+	prev := interpretALU.Swap(on)
+	return func() { interpretALU.Store(prev) }
+}
 
 // decodeKernel builds the decoded program of a kernel.
 func decodeKernel(k *Kernel) []DInstr {
@@ -117,6 +132,10 @@ func decodeKernel(k *Kernel) []DInstr {
 	return prog
 }
 
+// decodeInstr populates one decoded instruction in place; the sole
+// member of DInstr's frozen constructor set.
+//
+//simlint:ctor
 func decodeInstr(k *Kernel, in *Instr, d *DInstr) {
 	d.In = in
 	d.Class = classOf(in.Op)

@@ -136,8 +136,7 @@ func opsCoverageKernel(t *testing.T) *Kernel {
 // the per-lane interpreted path for every operation.
 func TestDecodedMatchesInterpreted(t *testing.T) {
 	run := func(interpret bool) []byte {
-		InterpretALU(interpret)
-		defer InterpretALU(false)
+		defer SwapInterpretALU(interpret)()
 		k := opsCoverageKernel(t) // decode happens at Build under the mode
 		mem := NewFlatMemory(64 << 10)
 		if err := RunGrid(k, mem, D1(2), D1(64), []uint64{0}); err != nil {
@@ -174,8 +173,7 @@ func TestInterpretALUTogglesDecode(t *testing.T) {
 	if k.prog[0].alu == aluGeneric {
 		t.Fatal("add.u32 should decode to a specialized executor")
 	}
-	InterpretALU(true)
-	defer InterpretALU(false)
+	defer SwapInterpretALU(true)()
 	k2 := build()
 	if k2.prog[0].alu != aluGeneric {
 		t.Fatal("InterpretALU(true) should decode to the generic path")

@@ -31,6 +31,8 @@ import (
 // semantics-preserving (bit-identical registers, memory, Stats and
 // experiment tables) and so the ablation benchmark can quantify the
 // difference; production code never sets it.
+//
+//simlint:processknob equivalence/ablation knob: CLI plumbing and Swap-helper tests only, never flipped while simulators run
 var legacyFragmentPath atomic.Bool
 
 // LegacyFragmentPath switches subsequently constructed warps between
@@ -38,9 +40,20 @@ var legacyFragmentPath atomic.Bool
 // legacy path, mirroring LegacyAccessPath.
 func LegacyFragmentPath(on bool) { legacyFragmentPath.Store(on) }
 
+// SwapLegacyFragmentPath sets the knob and returns the restore that
+// puts the previous value back; the only sanctioned test shape
+// (defer ptx.SwapLegacyFragmentPath(true)() or t.Cleanup).
+func SwapLegacyFragmentPath(on bool) (restore func()) {
+	prev := legacyFragmentPath.Swap(on)
+	return func() { legacyFragmentPath.Store(prev) }
+}
+
 // fragPlan is the decoded form of one wmma.Mapping: per-slot lane
 // vectors of precomputed tile offsets, built once per static
-// instruction (decode time) and shared read-only by every warp.
+// instruction (decode time) and shared read-only by every warp — so
+// the type is frozen outside planFragment.
+//
+//simlint:frozen
 type fragPlan struct {
 	slots      int
 	rows, cols int
@@ -56,6 +69,8 @@ type fragPlan struct {
 // planFragment builds the fragment plan, or returns nil when the
 // mapping is absent or its lanes disagree on fragment structure — the
 // executor then keeps the per-lane path for this instruction.
+//
+//simlint:ctor
 func planFragment(m *wmma.Mapping) *fragPlan {
 	if m == nil {
 		return nil

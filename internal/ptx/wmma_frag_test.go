@@ -93,8 +93,7 @@ type fragRun struct {
 // fragment path selected by legacy.
 func runFragKernel(t *testing.T, k *Kernel, legacy bool, block Dim3, args []uint64) fragRun {
 	t.Helper()
-	LegacyFragmentPath(legacy)
-	defer LegacyFragmentPath(false)
+	defer SwapLegacyFragmentPath(legacy)()
 	mem := newFragTestMem()
 	env := &Env{
 		Global:   mem,

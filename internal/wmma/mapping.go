@@ -28,6 +28,11 @@ type Coord struct{ Row, Col int }
 // which tile elements each lane of the warp holds and in what order. The
 // slot order is the order of the fragment's storage (a_frag.x[i] in the
 // CUDA API), which is also the order wmma.load fills registers.
+// Mappings are shared read-only by the decoded-instruction caches of
+// concurrent simulators, so the type is frozen: only the per-arch fill
+// constructors may write its fields.
+//
+//simlint:frozen
 type Mapping struct {
 	Arch   Arch
 	Shape  Shape

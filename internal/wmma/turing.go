@@ -17,6 +17,7 @@ import (
 // Both rectangular 16-bit tiles (32×8×16 and 8×32×16) use the same
 // distribution rule, as the paper observes.
 
+//simlint:ctor
 func turingMap(shape Shape, op Operand, layout tensor.Layout, elem Precision) (*Mapping, error) {
 	if err := turingShapeOK(shape); err != nil {
 		return nil, err

@@ -105,6 +105,12 @@ func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) {
 // faster. See DESIGN.md's "Batched memory path".
 func LegacyAccessPath(on bool) { ptx.LegacyAccessPath(on) }
 
+// SwapLegacyAccessPath sets the knob and returns a closure restoring the
+// previous setting. Tests flip knobs through the Swap form (registered
+// with defer or t.Cleanup) so a failure can never leak the legacy path
+// into later tests; simlint's globalmut analyzer enforces this.
+func SwapLegacyAccessPath(on bool) (restore func()) { return ptx.SwapLegacyAccessPath(on) }
+
 // LegacyFragmentPath routes warps created afterwards through the
 // per-element wmma fragment path (gather/scatter and fragment data
 // movement one element at a time) instead of the batched slot-vector
@@ -112,6 +118,10 @@ func LegacyAccessPath(on bool) { ptx.LegacyAccessPath(on) }
 // knob: both paths produce bit-identical Stats and experiment tables.
 // See DESIGN.md's "Batched fragment path".
 func LegacyFragmentPath(on bool) { ptx.LegacyFragmentPath(on) }
+
+// SwapLegacyFragmentPath is the set-and-restore form of
+// LegacyFragmentPath; see SwapLegacyAccessPath.
+func SwapLegacyFragmentPath(on bool) (restore func()) { return ptx.SwapLegacyFragmentPath(on) }
 
 // GemmKind selects the datapath of RunGEMM.
 type GemmKind int
