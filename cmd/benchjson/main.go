@@ -7,10 +7,16 @@
 //
 //	go test -run xxx -bench Ablation -benchtime 1x -benchmem . | benchjson
 //	go test -bench . -benchmem . | benchjson -out BENCH_5.json
+//	benchjson -compare OLD.json NEW.json
 //
 // Without -out the next free BENCH_<n>.json in the working directory is
 // chosen. Lines that are not benchmark results (headers, PASS/ok) are
 // ignored, so the raw `go test` stream pipes straight in.
+//
+// -compare renders a benchstat-style markdown table of NEW against OLD
+// on stdout (new/old ns/op and deltas, matched by name and GOMAXPROCS)
+// for CI job summaries. The comparison is advisory: unmatched rows are
+// listed, nothing fails.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -127,6 +134,64 @@ func splitProcs(name string) (string, int) {
 	return name, 1
 }
 
+// Compare renders a benchstat-style markdown comparison of cur against
+// prev: one row per benchmark of cur (matched to prev by name and proc
+// count), the ns/op delta, and a closing geomean line over the matched
+// rows. Rows only in one file are listed so a renamed or new benchmark
+// is visible rather than silently dropped.
+func Compare(prev, cur *File) string {
+	type key struct {
+		name  string
+		procs int
+	}
+	old := make(map[key]Result, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		old[key{b.Name, b.Procs}] = b
+	}
+	var sb strings.Builder
+	sb.WriteString("| benchmark | old ns/op | new ns/op | delta |\n")
+	sb.WriteString("|---|---:|---:|---:|\n")
+	logSum, matched := 0.0, 0
+	seen := map[key]bool{}
+	for _, b := range cur.Benchmarks {
+		k := key{b.Name, b.Procs}
+		seen[k] = true
+		o, ok := old[k]
+		if !ok || o.NsPerOp == 0 || b.NsPerOp == 0 {
+			fmt.Fprintf(&sb, "| %s | — | %.0f | new |\n", b.Name, b.NsPerOp)
+			continue
+		}
+		ratio := b.NsPerOp / o.NsPerOp
+		logSum += math.Log(ratio)
+		matched++
+		fmt.Fprintf(&sb, "| %s | %.0f | %.0f | %+.1f%% |\n", b.Name, o.NsPerOp, b.NsPerOp, (ratio-1)*100)
+	}
+	for _, b := range prev.Benchmarks {
+		if !seen[key{b.Name, b.Procs}] {
+			fmt.Fprintf(&sb, "| %s | %.0f | — | gone |\n", b.Name, b.NsPerOp)
+		}
+	}
+	if matched > 0 {
+		fmt.Fprintf(&sb, "\ngeomean over %d matched: %+.1f%%\n", matched, (math.Exp(logSum/float64(matched))-1)*100)
+	} else {
+		sb.WriteString("\nno matched benchmarks\n")
+	}
+	return sb.String()
+}
+
+// readFile loads a serialized artifact.
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
 // nextBenchFile picks BENCH_<n>.json with n one past the largest present.
 func nextBenchFile(dir string) string {
 	n := 0
@@ -142,7 +207,27 @@ func nextBenchFile(dir string) string {
 
 func main() {
 	out := flag.String("out", "", "output file (default: next free BENCH_<n>.json)")
+	compare := flag.String("compare", "", "previous artifact: print a markdown comparison of the positional new artifact against it")
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare OLD.json needs exactly one NEW.json argument")
+			os.Exit(1)
+		}
+		prev, err := readFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		cur, err := readFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Print(Compare(prev, cur))
+		return
+	}
 
 	f, err := Parse(os.Stdin)
 	if err != nil {

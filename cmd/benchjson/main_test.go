@@ -104,6 +104,54 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 }
 
+func TestCompare(t *testing.T) {
+	prev := &File{Benchmarks: []Result{
+		{Name: "BenchmarkA", Procs: 8, NsPerOp: 200},
+		{Name: "BenchmarkB", Procs: 8, NsPerOp: 100},
+		{Name: "BenchmarkGone", Procs: 8, NsPerOp: 50},
+	}}
+	cur := &File{Benchmarks: []Result{
+		{Name: "BenchmarkA", Procs: 8, NsPerOp: 100}, // -50%
+		{Name: "BenchmarkB", Procs: 8, NsPerOp: 200}, // +100%
+		{Name: "BenchmarkNew", Procs: 8, NsPerOp: 10},
+	}}
+	out := Compare(prev, cur)
+	for _, want := range []string{
+		"| BenchmarkA | 200 | 100 | -50.0% |",
+		"| BenchmarkB | 100 | 200 | +100.0% |",
+		"| BenchmarkNew | — | 10 | new |",
+		"| BenchmarkGone | 50 | — | gone |",
+		// geomean of 0.5 and 2.0 is 1.0.
+		"geomean over 2 matched: +0.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A proc-count mismatch is a different machine shape, not the same
+// benchmark — it must not pair up.
+func TestCompareProcsMismatch(t *testing.T) {
+	prev := &File{Benchmarks: []Result{{Name: "BenchmarkA", Procs: 4, NsPerOp: 100}}}
+	cur := &File{Benchmarks: []Result{{Name: "BenchmarkA", Procs: 8, NsPerOp: 100}}}
+	out := Compare(prev, cur)
+	if !strings.Contains(out, "new") || !strings.Contains(out, "gone") {
+		t.Errorf("procs mismatch paired up:\n%s", out)
+	}
+	if !strings.Contains(out, "no matched benchmarks") {
+		t.Errorf("expected empty match set:\n%s", out)
+	}
+}
+
+func TestCompareEmptyPrev(t *testing.T) {
+	cur := &File{Benchmarks: []Result{{Name: "BenchmarkA", Procs: 1, NsPerOp: 5}}}
+	out := Compare(&File{}, cur)
+	if !strings.Contains(out, "| BenchmarkA | — | 5 | new |") || !strings.Contains(out, "no matched benchmarks") {
+		t.Errorf("first-run comparison wrong:\n%s", out)
+	}
+}
+
 func TestNextBenchFile(t *testing.T) {
 	dir := t.TempDir()
 	if got, want := nextBenchFile(dir), filepath.Join(dir, "BENCH_1.json"); got != want {

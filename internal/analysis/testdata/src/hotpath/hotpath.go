@@ -89,6 +89,34 @@ func JustifiedAlloc(n int) []*point {
 	return out
 }
 
+// subcoreOrder is a miniature incremental issue-order structure; the
+// update below shows the flagged shape for order-maintenance code:
+// materializing a fresh candidate list every cycle instead of reslicing
+// the sub-core's scratch buffer.
+type subcoreOrder struct {
+	lastIssue []uint64
+}
+
+//simlint:hotpath
+func (s *subcoreOrder) RebuildEachCycle(cycles int) int {
+	issued := 0
+	for c := 0; c < cycles; c++ {
+		var order []int // the incremental order exists to avoid this
+		for slot, last := range s.lastIssue {
+			if last == 0 {
+				order = append(order, slot) // want "append grows order from zero capacity inside a loop"
+			}
+		}
+		if len(order) > 0 {
+			issued++
+		}
+	}
+	return issued
+}
+
+// TouchOrder keeps the order fixture referenced.
+func TouchOrder() int { return (&subcoreOrder{lastIssue: []uint64{0, 1}}).RebuildEachCycle(2) }
+
 // coldPath is unannotated: the same shapes draw no diagnostics.
 func coldPath(n int) []int {
 	var out []int

@@ -52,6 +52,20 @@ func goldenWorkloads(t *testing.T) []struct {
 			Global: ptx.NewFlatMemory(256 << 10),
 		}
 	}
+	// The scheduler-pressure cell needs its own layout: 16 CTAs across 2
+	// SMs pin every SM at its 64-warp occupancy cap (16 warps per
+	// sub-core), so the issue-order structures run at full depth, and the
+	// 256×256 C/D matrices outgrow the shared 256KB arena.
+	buildPressure := func(l *kernels.Launch, err error) LaunchSpec {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return LaunchSpec{
+			Kernel: l.Kernel, Grid: l.Grid, Block: l.Block,
+			Args:   []uint64{0, 64 << 10, 128 << 10, 384 << 10},
+			Global: ptx.NewFlatMemory(640 << 10),
+		}
+	}
 	return []struct {
 		name string
 		spec LaunchSpec
@@ -60,6 +74,7 @@ func goldenWorkloads(t *testing.T) []struct {
 		{"hgemm-simt-64x128x16", build(kernels.HGEMMSimt(64, 128, 16))},
 		{"wmma-mixed-64x64x32", build(kernels.WMMAGemmShared(kernels.TensorMixed, 64, 64, 32))},
 		{"wmma-fp16-32x32x64", build(kernels.WMMAGemmShared(kernels.TensorFP16, 32, 32, 64))},
+		{"sgemm-simt-pressure-256x256x32", buildPressure(kernels.SGEMMSimt(256, 256, 32))},
 	}
 }
 

@@ -1,0 +1,324 @@
+package gpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The issue-order property harness: a pair of sub-cores — one event-mode
+// (incremental zero prefix + age list + masks), one scan-mode (per-cycle
+// rescan and sort) — driven through identical randomized sequences of
+// issue / hazard-park / barrier / release / finish / CTA-retire / fresh
+// dispatch transitions, asserting after every step that the incremental
+// issue order equals the legacy scan order and that the mirrored warp
+// state has not drifted. This is the equivalence contract of DESIGN.md's
+// "O(1) issue selection" at the data-structure level, independent of the
+// full-simulation knob tests.
+
+type orderTwin struct {
+	ev  *subcore // event mode: the incremental structures under test
+	sc  *subcore // scan mode: the legacy oracle
+	now uint64
+}
+
+func newOrderTwin(pol SchedulerPolicy, nWarps int) *orderTwin {
+	tw := &orderTwin{
+		ev: &subcore{policy: policyFor(pol), tlCap: defaultTwoLevelActive},
+		sc: &subcore{policy: policyFor(pol), scan: true, tlCap: defaultTwoLevelActive},
+	}
+	tw.ev.reset()
+	tw.sc.reset()
+	for i := 0; i < nWarps; i++ {
+		tw.enqueue()
+	}
+	return tw
+}
+
+// enqueue dispatches one fresh Ready warp to both twins.
+func (tw *orderTwin) enqueue() {
+	tw.ev.enqueue(&simWarp{state: warpReady})
+	tw.sc.enqueue(&simWarp{state: warpReady})
+}
+
+// orders computes this cycle's issue order on both twins, mirroring the
+// stepSubcore driver: the event twin drains its wake heap first, the
+// scan twin rescans.
+func (tw *orderTwin) orders() (ev, legacy []int) {
+	if len(tw.ev.warps) == 0 {
+		return nil, nil
+	}
+	if tw.ev.greedy >= len(tw.ev.warps) {
+		tw.ev.greedy = 0
+	}
+	if tw.sc.greedy >= len(tw.sc.warps) {
+		tw.sc.greedy = 0
+	}
+	tw.ev.drainWake(tw.now)
+	ev = tw.ev.policy.pickEvent(tw.ev, tw.now, nil)
+	wake := uint64(math.MaxUint64)
+	ready := tw.sc.scanReady(tw.now, &wake)
+	legacy = tw.sc.policy.pick(tw.sc, tw.now, ready, nil)
+	return ev, legacy
+}
+
+// issue replays the tryWarp/issue flow for the warp in slot on both
+// twins: lastIssue, the proactive hazard park (or the legacy next-cycle
+// stallUntil), the policy's greedy update, and the incremental-order
+// update. hazardUntil ≤ now+1 means the next instruction has no pending
+// hazard.
+func (tw *orderTwin) issue(slot int, hazardUntil uint64) {
+	for _, sub := range []*subcore{tw.ev, tw.sc} {
+		w := sub.warps[slot]
+		w.lastIssue = tw.now
+		if hazardUntil > tw.now+1 {
+			sub.stall(w, hazardUntil)
+		} else if w.stallUntil <= tw.now {
+			w.stallUntil = tw.now + 1
+		}
+		sub.policy.issued(sub, slot)
+		if !sub.scan {
+			sub.noteIssued(w, tw.now)
+		}
+	}
+}
+
+// issueBarrier replays issuing a bar instruction: the warp parks at the
+// barrier but still updates lastIssue and the issue order.
+func (tw *orderTwin) issueBarrier(slot int) {
+	for _, sub := range []*subcore{tw.ev, tw.sc} {
+		w := sub.warps[slot]
+		w.lastIssue = tw.now
+		sub.toBarrier(w)
+		sub.policy.issued(sub, slot)
+		if !sub.scan {
+			sub.noteIssued(w, tw.now)
+		}
+	}
+}
+
+// issueExit replays issuing an exit: finishWarp runs inside issue, then
+// the driver still notes the slot as this cycle's issuer.
+func (tw *orderTwin) issueExit(slot int) {
+	for _, sub := range []*subcore{tw.ev, tw.sc} {
+		w := sub.warps[slot]
+		w.lastIssue = tw.now
+		sub.finish(w)
+		sub.policy.issued(sub, slot)
+		if !sub.scan {
+			sub.noteIssued(w, tw.now)
+		}
+	}
+}
+
+// finish replays the stream-exhaustion path (PeekD == nil): the warp
+// retires without issuing.
+func (tw *orderTwin) finish(slot int) {
+	tw.ev.finish(tw.ev.warps[slot])
+	tw.sc.finish(tw.sc.warps[slot])
+}
+
+// release re-arms a warp waiting at the barrier on both twins.
+func (tw *orderTwin) release(slot int, until uint64) {
+	tw.ev.release(tw.ev.warps[slot], until)
+	tw.sc.release(tw.sc.warps[slot], until)
+}
+
+func (tw *orderTwin) removeFinished() {
+	tw.ev.removeFinished()
+	tw.sc.removeFinished()
+}
+
+// check asserts the twins agree on issue order and on every warp's
+// scheduling state.
+func (tw *orderTwin) check(t *testing.T, step int) {
+	t.Helper()
+	ev, legacy := tw.orders()
+	if !intsEqual(ev, legacy) {
+		t.Fatalf("step %d cycle %d: incremental order %v != scan order %v", step, tw.now, ev, legacy)
+	}
+	if tw.ev.greedy != tw.sc.greedy {
+		t.Fatalf("step %d: greedy drifted: event %d scan %d", step, tw.ev.greedy, tw.sc.greedy)
+	}
+	if len(tw.ev.warps) != len(tw.sc.warps) {
+		t.Fatalf("step %d: pool sizes drifted: %d vs %d", step, len(tw.ev.warps), len(tw.sc.warps))
+	}
+	for i := range tw.ev.warps {
+		we, ws := tw.ev.warps[i], tw.sc.warps[i]
+		// Ready and Stalled normalize together: scan mode derives
+		// readiness from stallUntil and never flips the state back, while
+		// the event twin's drainWake does — issuable() is the shared truth.
+		if normState(we.state) != normState(ws.state) || we.stallUntil != ws.stallUntil ||
+			we.lastIssue != ws.lastIssue || we.tlActive != ws.tlActive {
+			t.Fatalf("step %d slot %d: warp state drifted: event %+v scan %+v", step, i, *we, *ws)
+		}
+	}
+}
+
+func normState(s warpState) warpState {
+	if s == warpStalled {
+		return warpReady
+	}
+	return s
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates is the full attempt order the driver would walk: the
+// preferred slot (when issuable) followed by the policy order.
+func (tw *orderTwin) candidates() []int {
+	var out []int
+	if p := tw.ev.policy.preferred(tw.ev); p >= 0 && p < len(tw.ev.warps) && tw.ev.warps[p].issuable(tw.now) {
+		out = append(out, p)
+	}
+	ev, _ := tw.orders()
+	return append(out, ev...)
+}
+
+// runOrderSequence drives both twins through a seeded random transition
+// sequence, checking equivalence after every step. maxWarps caps the
+// pool so fresh dispatches keep arriving without unbounded growth.
+func runOrderSequence(t *testing.T, pol SchedulerPolicy, nWarps int, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tw := newOrderTwin(pol, nWarps)
+	maxWarps := nWarps + 8
+	for step := 0; step < steps; step++ {
+		tw.check(t, step)
+		cand := tw.candidates()
+		switch op := rng.Intn(100); {
+		case op < 55 && len(cand) > 0:
+			// Issue the first candidate; half the time its next
+			// instruction has a pending hazard and it parks proactively.
+			until := tw.now + 1
+			if rng.Intn(2) == 0 {
+				until = tw.now + 2 + uint64(rng.Intn(8))
+			}
+			tw.issue(cand[0], until)
+		case op < 65 && len(cand) > 0:
+			tw.issueBarrier(cand[0])
+		case op < 72 && len(cand) > 0:
+			tw.issueExit(cand[0])
+		case op < 78 && len(cand) > 0:
+			tw.finish(cand[0])
+		case op < 88:
+			// Release one barrier-parked warp, as a CTA-wide release would.
+			for off, n := rng.Intn(len(tw.ev.warps)+1), 0; n < len(tw.ev.warps); n++ {
+				i := (off + n) % len(tw.ev.warps)
+				if tw.ev.warps[i].state == warpAtBarrier {
+					tw.release(i, tw.now+1+uint64(rng.Intn(5)))
+					break
+				}
+			}
+		case op < 94:
+			tw.removeFinished()
+		default:
+			if len(tw.ev.warps) < maxWarps {
+				tw.enqueue()
+			}
+		}
+		// At most one issue per sub-core per cycle: always advance.
+		tw.now += 1 + uint64(rng.Intn(3))
+	}
+	tw.check(t, steps)
+}
+
+// TestIssueOrderEquivalence is the table-driven sweep: every policy,
+// pool sizes on both sides of the 64-slot mask-word boundary, several
+// seeds.
+func TestIssueOrderEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		pol    SchedulerPolicy
+		nWarps int
+		seed   int64
+		steps  int
+	}{
+		{"gto/small", GTO, 4, 1, 400},
+		{"gto/subcore16", GTO, 16, 2, 600},
+		{"gto/multiword", GTO, 70, 3, 800},
+		{"lrr/small", LRR, 4, 4, 400},
+		{"lrr/subcore16", LRR, 16, 5, 600},
+		{"lrr/multiword", LRR, 70, 6, 800},
+		{"twolevel/small", TwoLevel, 4, 7, 400},
+		{"twolevel/subcore16", TwoLevel, 16, 8, 600},
+		{"twolevel/multiword", TwoLevel, 70, 9, 800},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			runOrderSequence(t, c.pol, c.nWarps, c.seed, c.steps)
+		})
+	}
+}
+
+// TestIssueOrderCycleZeroTie pins the subtlety the zero prefix encodes:
+// a warp that issues at cycle 0 keeps lastIssue == 0, so the legacy GTO
+// comparator cannot distinguish it from never-issued warps — it must
+// stay in the rotation-ordered zero group, not join the age list.
+func TestIssueOrderCycleZeroTie(t *testing.T) {
+	tw := newOrderTwin(GTO, 4)
+	tw.issue(2, 1) // issues at cycle 0; lastIssue stays 0
+	tw.now = 1
+	ev, legacy := tw.orders()
+	want := []int{3, 0, 1} // rotation from greedy+1, greedy (2) excluded
+	if !intsEqual(ev, want) || !intsEqual(legacy, want) {
+		t.Fatalf("after cycle-0 issue: event %v scan %v, want %v", ev, legacy, want)
+	}
+	if tw.ev.warps[2].inAge {
+		t.Fatal("cycle-0 issuer must stay in the zero prefix, not the age list")
+	}
+}
+
+// TestIssueOrderReissueAndCompaction pins the age-list splices: re-issue
+// moves a warp to the tail, finish unlinks it, and CTA-retire compaction
+// renumbers slots without breaking the chain.
+func TestIssueOrderReissueAndCompaction(t *testing.T) {
+	tw := newOrderTwin(GTO, 5)
+	tw.now = 1
+	tw.issue(1, 2)
+	tw.now = 2
+	tw.issue(3, 3)
+	tw.now = 4
+	tw.issue(1, 5) // re-issue: 1 moves behind 3 in age order
+	tw.now = 6
+	ev, legacy := tw.orders()
+	// greedy is 1; zero group {0,2,4} rotated from slot 2, then ages 3, (1 excluded).
+	want := []int{2, 4, 0, 3}
+	if !intsEqual(ev, want) || !intsEqual(legacy, want) {
+		t.Fatalf("after re-issue: event %v scan %v, want %v", ev, legacy, want)
+	}
+	tw.issueExit(3)
+	tw.removeFinished() // slot 4 renumbers to 3
+	tw.now = 7
+	tw.check(t, 0)
+	if head := tw.ev.ageHead; head == nil || head.slot != 1 || head.ageNext != nil {
+		t.Fatalf("age list must hold exactly the re-issued warp after compaction")
+	}
+}
+
+// FuzzIssueOrder fuzzes the transition sequence. The seed corpus uses
+// the fig17 quick occupancy shapes: 8 warps (one CTA per sub-core), 16
+// (the max-occupancy SIMT GEMM's per-sub-core load) and 64 (a full SM's
+// warp budget landing on one sub-core in the 1-SM ablation).
+func FuzzIssueOrder(f *testing.F) {
+	f.Add(int64(17), uint8(0), uint8(8), uint16(300))
+	f.Add(int64(17), uint8(1), uint8(16), uint16(300))
+	f.Add(int64(17), uint8(2), uint8(64), uint16(300))
+	f.Fuzz(func(t *testing.T, seed int64, pol, nWarps uint8, steps uint16) {
+		policies := []SchedulerPolicy{GTO, LRR, TwoLevel}
+		n := int(nWarps)%96 + 1
+		s := int(steps) % 1000
+		runOrderSequence(t, policies[int(pol)%len(policies)], n, seed, s)
+	})
+}

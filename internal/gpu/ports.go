@@ -1,0 +1,47 @@
+package gpu
+
+import "repro/internal/ptx"
+
+// unitPorts models structural availability of a sub-core's execution
+// units: each unit accepts a new instruction once the initiation interval
+// of the previous one elapses. It is the single seam between the
+// scheduler and the units — tryWarp asks free before issuing, issue
+// charges the interval through the reserve methods — so the planned
+// operand-collector / issue-port model replaces this struct without
+// touching the policies or the scheduler driver.
+type unitPorts struct {
+	tcFree  uint64 // next cycle the tensor cores accept a wmma.mma
+	aluFree uint64 // next cycle the ALU pipe accepts
+	sfuFree uint64 // next cycle the SFU pipe accepts
+}
+
+// free reports whether the instruction's unit can accept at now,
+// dispatching on the decoded execution class; when blocked it returns
+// the cycle the unit frees.
+//
+//simlint:hotpath
+func (p *unitPorts) free(in *ptx.DInstr, now uint64) (bool, uint64) {
+	switch in.Class {
+	case ptx.DClassWmmaMMA:
+		if p.tcFree > now {
+			return false, p.tcFree
+		}
+	case ptx.DClassSFU:
+		if p.sfuFree > now {
+			return false, p.sfuFree
+		}
+	case ptx.DClassALU:
+		if p.aluFree > now {
+			return false, p.aluFree
+		}
+	default:
+		// LSU queueing is modeled inside mem.SMPort; control ops always
+		// accept.
+	}
+	return true, now
+}
+
+// reserve* charge a unit's initiation interval after an issue.
+func (p *unitPorts) reserveTC(until uint64)  { p.tcFree = until }
+func (p *unitPorts) reserveALU(until uint64) { p.aluFree = until }
+func (p *unitPorts) reserveSFU(until uint64) { p.sfuFree = until }

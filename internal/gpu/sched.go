@@ -2,9 +2,8 @@ package gpu
 
 import (
 	"math"
+	"math/bits"
 	"sync/atomic"
-
-	"repro/internal/ptx"
 )
 
 // The warp-scheduling core: a per-sub-core driver that derives the issue
@@ -45,11 +44,16 @@ type schedPolicy interface {
 	// preference). GTO's greedy warp issues back to back in the common
 	// case, so this keeps the scheduler O(1) on those cycles.
 	preferred(sc *subcore) int
-	// pick appends the ready slots to buf in issue-priority order. ready
-	// holds the candidate slots in ascending order; the driver attempts
-	// buf in order until one warp issues. The preferred slot may be
-	// included — the driver skips it if already attempted.
+	// pick appends the ready slots to buf in issue-priority order — the
+	// legacy scan-mode path. ready holds the candidate slots in ascending
+	// order; the driver attempts buf in order until one warp issues. The
+	// preferred slot may be included — the driver skips it if already
+	// attempted.
 	pick(sc *subcore, now uint64, ready, buf []int) []int
+	// pickEvent is pick's event-mode twin: it derives the same order
+	// straight from the sub-core's incrementally maintained structures
+	// (readyMask, zeroMask, the age list, tlMask) with no per-cycle sort.
+	pickEvent(sc *subcore, now uint64, buf []int) []int
 	// issued notes that the warp in slot won this cycle's issue.
 	issued(sc *subcore, slot int)
 	// retired notes that w left the sub-core's pool.
@@ -84,40 +88,12 @@ type gtoPolicy struct{}
 
 func (gtoPolicy) preferred(sc *subcore) int { return sc.greedy }
 
-//simlint:hotpath
+// pick is the legacy scan-mode order: the pre-refactor selection sort
+// over per-pair gtoLess compares, preserving the legacy scheduler's cost
+// profile for the knob's oracle role.
 func (gtoPolicy) pick(sc *subcore, _ uint64, ready, buf []int) []int {
 	g := sc.greedy
 	n := len(sc.warps)
-	if !sc.scan && n <= gtoPackLimit {
-		// Hot path: sort packed (lastIssue·n + rotDist) << 16 | slot keys,
-		// so each comparison is one uint64 instead of a lastIssue compare
-		// plus a wrap-around distance computation.
-		keys := sc.keyBuf[:0]
-		for _, idx := range ready {
-			if idx == g {
-				continue
-			}
-			w := sc.warps[idx]
-			keys = append(keys, (w.lastIssue*uint64(n)+uint64(rotDist(idx, g, n)))<<16|uint64(idx))
-		}
-		sc.keyBuf = keys
-		for i := 1; i < len(keys); i++ { // insertion sort, k is small
-			k := keys[i]
-			j := i - 1
-			for ; j >= 0 && keys[j] > k; j-- {
-				keys[j+1] = keys[j]
-			}
-			keys[j+1] = k
-		}
-		for _, k := range keys {
-			buf = append(buf, int(k&0xffff))
-		}
-		return buf
-	}
-	// Legacy path (the ScanScheduler knob, or absurdly large warp pools):
-	// the pre-refactor selection sort over per-pair gtoLess compares. It
-	// visits the identical order, so the knob stays bit-equivalent while
-	// preserving the legacy scheduler's cost profile.
 	for _, idx := range ready {
 		if idx != g {
 			buf = append(buf, idx)
@@ -135,10 +111,23 @@ func (gtoPolicy) pick(sc *subcore, _ uint64, ready, buf []int) []int {
 	return buf
 }
 
-// gtoPackLimit bounds the packed-key sort: with maxCycles ≤ 4e9,
-// lastIssue·n<<16 stays well inside uint64 for n ≤ 4096. Larger warp
-// pools (absurd configs) take the unpacked selection sort.
-const gtoPackLimit = 4096
+// pickEvent reads the (lastIssue, rotDist) order off the incremental
+// structures with no per-cycle sort: the lastIssue == 0 group is the
+// zero-prefix in rotation order from greedy+1 (exactly the legacy
+// comparator's tie-break when every key is zero), and the lastIssue ≥ 1
+// group is the age list, strictly ascending by construction.
+//
+//simlint:hotpath
+func (gtoPolicy) pickEvent(sc *subcore, _ uint64, buf []int) []int {
+	g := sc.greedy
+	buf = appendRotatedMask(sc.andMask(sc.zeroMask, sc.readyMask), g, g, buf)
+	for w := sc.ageHead; w != nil; w = w.ageNext {
+		if w.slot != g && sc.readyBit(w.slot) {
+			buf = append(buf, w.slot)
+		}
+	}
+	return buf
+}
 
 // gtoLess orders slots a before b: least recently issued first, ties by
 // rotation distance from the slot after greedy.
@@ -169,6 +158,11 @@ func (lrrPolicy) preferred(*subcore) int { return -1 }
 
 func (lrrPolicy) pick(sc *subcore, _ uint64, ready, buf []int) []int {
 	return appendRotated(sc.greedy, ready, buf)
+}
+
+//simlint:hotpath
+func (lrrPolicy) pickEvent(sc *subcore, _ uint64, buf []int) []int {
+	return appendRotatedMask(sc.readyMask, sc.greedy, -1, buf)
 }
 
 // appendRotated emits the ascending slots in rotation order from g+1:
@@ -244,12 +238,56 @@ func (twoLevelPolicy) pick(sc *subcore, now uint64, ready, buf []int) []int {
 	return out
 }
 
+// pickEvent mirrors pick on the mask structures: promotion decisions
+// come from readyMask ∧/∧^ tlMask intersections instead of scanning the
+// ready list, and the final order is one rotated-mask enumeration.
+//
+//simlint:hotpath
+func (twoLevelPolicy) pickEvent(sc *subcore, now uint64, buf []int) []int {
+	if !maskIntersects(sc.readyMask, sc.tlMask) {
+		// The whole active subset is blocked: swap in ready pending warps
+		// one for one, ascending — the legacy loop's order. Every current
+		// member is non-issuable here, so demotion always finds a victim
+		// while the subset is full.
+	promote:
+		for wi, word := range sc.readyMask {
+			for ; word != 0; word &= word - 1 {
+				if sc.tlActive >= sc.tlCap && !sc.demoteOne(now) {
+					break promote
+				}
+				idx := wi*64 + bits.TrailingZeros64(word)
+				sc.warps[idx].tlActive = true
+				sc.setTL(idx)
+				sc.tlActive++
+			}
+		}
+	} else if sc.tlActive < sc.tlCap {
+		// Spare capacity: fill it from the ready pending warps, ascending.
+	fill:
+		for wi := range sc.readyMask {
+			for word := sc.readyMask[wi] &^ sc.tlMask[wi]; word != 0; word &= word - 1 {
+				if sc.tlActive >= sc.tlCap {
+					break fill
+				}
+				idx := wi*64 + bits.TrailingZeros64(word)
+				sc.warps[idx].tlActive = true
+				sc.setTL(idx)
+				sc.tlActive++
+			}
+		}
+	}
+	return appendRotatedMask(sc.andMask(sc.readyMask, sc.tlMask), sc.greedy, -1, buf)
+}
+
 // demoteOne evicts the lowest-slot non-issuable member of the active
 // subset; false when every member is issuable.
 func (sc *subcore) demoteOne(now uint64) bool {
 	for _, w := range sc.warps {
 		if w.tlActive && !w.issuable(now) {
 			w.tlActive = false
+			if !sc.scan {
+				sc.clearTL(w.slot)
+			}
 			sc.tlActive--
 			return true
 		}
@@ -262,6 +300,9 @@ func (twoLevelPolicy) issued(sc *subcore, slot int) { sc.greedy = slot }
 func (twoLevelPolicy) retired(sc *subcore, w *simWarp) {
 	if w.tlActive {
 		w.tlActive = false
+		if !sc.scan {
+			sc.clearTL(w.slot)
+		}
 		sc.tlActive--
 	}
 }
@@ -296,19 +337,19 @@ func (m *sm) stepSubcore(sc *subcore, now uint64, st *Stats) (issued bool, wake 
 		}
 		tried = p
 	}
-	var ready []int
+	var order []int
 	if sc.scan {
-		ready = sc.scanReady(now, &wake)
+		ready := sc.scanReady(now, &wake)
+		if len(ready) == 0 {
+			return false, wake, nil
+		}
+		order = sc.policy.pick(sc, now, ready, sc.orderBuf[:0])
 	} else {
-		ready = sc.readySlots()
 		if top := sc.heapTop(); top < wake {
 			wake = top
 		}
+		order = sc.policy.pickEvent(sc, now, sc.orderBuf[:0])
 	}
-	if len(ready) == 0 {
-		return false, wake, nil
-	}
-	order := sc.policy.pick(sc, now, ready, sc.orderBuf[:0])
 	sc.orderBuf = order[:0]
 	for _, idx := range order {
 		if idx == tried {
@@ -379,35 +420,15 @@ func (m *sm) tryWarp(sc *subcore, idx int, now uint64, st *Stats) (issued bool, 
 		sc.stall(w, at)
 		return false, at, nil
 	}
-	if free, at := m.unitFree(sc, in, now); !free {
+	if free, at := sc.ports.free(in, now); !free {
 		return false, at, nil
 	}
 	if err := m.issue(sc, w, in, now, st); err != nil {
 		return false, wake, err
 	}
 	sc.policy.issued(sc, idx)
-	return true, wake, nil
-}
-
-// unitFree checks structural availability of the instruction's unit,
-// dispatching on the decoded execution class.
-func (m *sm) unitFree(sc *subcore, in *ptx.DInstr, now uint64) (bool, uint64) {
-	switch in.Class {
-	case ptx.DClassWmmaMMA:
-		if sc.tcFree > now {
-			return false, sc.tcFree
-		}
-	case ptx.DClassSFU:
-		if sc.sfuFree > now {
-			return false, sc.sfuFree
-		}
-	case ptx.DClassALU:
-		if sc.aluFree > now {
-			return false, sc.aluFree
-		}
-	default:
-		// LSU queueing is modeled inside mem.SMPort; control ops always
-		// accept.
+	if !sc.scan {
+		sc.noteIssued(w, now)
 	}
-	return true, now
+	return true, wake, nil
 }

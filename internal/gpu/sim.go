@@ -405,7 +405,7 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.DInstr, now uint64, st *Stat
 		m.maybeReleaseBarrier(w.cta, now)
 		return nil
 	case ptx.DClassSFU:
-		sc.sfuFree = now + uint64(cfg.SFUII)
+		sc.ports.reserveSFU(now + uint64(cfg.SFUII))
 		done += uint64(cfg.SFULatency)
 	case ptx.DClassLd, ptx.DClassSt:
 		done = m.accessMemory(&res, now) + uint64(cfg.IssueLatency)
@@ -425,18 +425,32 @@ func (m *sm) issue(sc *subcore, w *simWarp, in *ptx.DInstr, now uint64, st *Stat
 		if err != nil {
 			return err
 		}
-		sc.tcFree = now + cfg.tensorOccupancy(in.In.WConfig)
+		sc.ports.reserveTC(now + cfg.tensorOccupancy(in.In.WConfig))
 		done = now + uint64(timing.Total())
 		if st.Trace != nil {
 			st.Trace.WmmaMMA = append(st.Trace.WmmaMMA, float64(done-now))
 		}
 	default:
-		sc.aluFree = now + uint64(cfg.ALUII)
+		sc.ports.reserveALU(now + uint64(cfg.ALUII))
 		done += uint64(cfg.ALULatency)
 	}
 
 	for _, id := range in.DstRegs() {
 		w.regReady[id] = done
+	}
+	// Proactive scoreboard wake: this warp's regReady only changes when
+	// the warp itself issues, so the next instruction's hazard-clear
+	// cycle computed right here is exact. When it is beyond the next
+	// cycle, park the warp on the wake heap now — it never re-enters the
+	// ready set, so the scheduler stops re-screening a warp whose stall
+	// outcome is already known. Runs in both knob modes (scan mode reads
+	// the same stallUntil through its per-cycle screen) so the policies
+	// keep seeing identical candidate sets.
+	if next := w.warp.PeekD(); next != nil {
+		if at := w.hazardClear(next); at > now+1 {
+			sc.stall(w, at)
+			return nil
+		}
 	}
 	// The next instruction of this warp issues no earlier than next cycle.
 	// The warp stays Ready: its sub-core is guaranteed to step again at

@@ -70,7 +70,14 @@ type DInstr struct {
 	srcs   []srcOp
 	dsts   []int32 // all destination registers, in Instr.Dst order
 	sb     []int32 // deduplicated scoreboard registers
-	target int32   // pre-resolved branch target index, -1 = unresolved
+	// The packed scoreboard set: sbMask holds the registers of sb with
+	// IDs < 64 as a bitmask, sbWide the (rare) spill of larger IDs. The
+	// timing model's hazard screen — and the issue-time hazard-clear
+	// computation that parks blocked warps straight into the wake heap —
+	// walk the mask's set bits instead of ranging the slice.
+	sbMask uint64
+	sbWide []int32
+	target int32 // pre-resolved branch target index, -1 = unresolved
 
 	membytes int32 // ld/st access bytes (wmma: fragment element bytes)
 	words    int32 // ld/st 32-bit word count
@@ -97,6 +104,13 @@ type DInstr struct {
 // reads or writes, precomputed at decode time for the timing model's
 // RAW/WAW hazard check.
 func (d *DInstr) ScoreboardRegs() []int32 { return d.sb }
+
+// ScoreboardSet returns the packed form of ScoreboardRegs: a bitmask of
+// the register IDs below 64 plus the spill slice of larger IDs (nil for
+// the kernels this repository generates, which stay under 64 virtual
+// registers). Hazard screens iterate the mask's set bits — one
+// TrailingZeros per register, no slice header chase.
+func (d *DInstr) ScoreboardSet() (mask uint64, wide []int32) { return d.sbMask, d.sbWide }
 
 // DstRegs returns the destination register IDs, in declaration order.
 func (d *DInstr) DstRegs() []int32 { return d.dsts }
@@ -170,6 +184,13 @@ func decodeInstr(k *Kernel, in *Instr, d *DInstr) {
 		d.dsts[i] = int32(r.ID)
 	}
 	d.sb = appendScoreboardRegs(nil, in)
+	for _, id := range d.sb {
+		if id < 64 {
+			d.sbMask |= 1 << uint(id)
+		} else {
+			d.sbWide = append(d.sbWide, id)
+		}
+	}
 
 	switch in.Op {
 	case OpBra:
