@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 // The -sms, -workers and -tlactive flags must be rejected at the flag
 // boundary: negative or absurd values used to panic or silently
@@ -32,5 +38,97 @@ func TestValidateFlags(t *testing.T) {
 			t.Errorf("validateFlags(%d, %d, %d, %q) = %v, want ok=%v",
 				c.sms, c.workers, c.tlActive, c.sched, err, c.ok)
 		}
+	}
+}
+
+// execRun invokes the CLI in-process, returning (exit code, stdout,
+// stderr). The whole exit-code contract is pinned this way — no
+// subprocesses, no signals, fully deterministic.
+func execRun(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestExitOKAndListing(t *testing.T) {
+	code, out, _ := execRun(t, "-list")
+	if code != exitOK || !strings.Contains(out, "fig12c") {
+		t.Fatalf("-list = %d, output %q", code, out)
+	}
+	code, out, _ = execRun(t, "-run", "fig9")
+	if code != exitOK || !strings.Contains(out, "fig9") {
+		t.Fatalf("-run fig9 = %d, want %d with a table", code, exitOK)
+	}
+}
+
+// Flag and infrastructure errors exit 2: undefined flags, out-of-range
+// values, unknown experiments, malformed fault specs, -resume without a
+// checkpoint, and an unwritable checkpoint path.
+func TestExitUsage(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-run", "fig9", "-sms", "-1"},
+		{"-run", "nope"},
+		{"-run", "fig9", "-faults", "explode@fig9:0"},
+		{"-run", "fig9", "-resume"},
+		{"-run", "fig9", "-retries", "-1"},
+		{"-run", "fig9", "-checkpoint", "/nonexistent-dir/ckpt"},
+	}
+	for _, args := range cases {
+		if code, _, _ := execRun(t, args...); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+// An experiment failure exits 1; under -keepgoing the partial table
+// still prints with its failed cells marked.
+func TestExitFailedAndKeepGoing(t *testing.T) {
+	args := []string{"-run", "fig12c", "-quick", "-workers", "1",
+		"-faults", "panic@fig12c:2"}
+	code, out, _ := execRun(t, args...)
+	if code != exitFailed || strings.Contains(out, "fig12c") {
+		t.Fatalf("failing run = %d with table %q, want %d and no table", code, out, exitFailed)
+	}
+	code, out, serr := execRun(t, append(args, "-keepgoing")...)
+	if code != exitFailed {
+		t.Fatalf("keepgoing failing run = %d, want %d", code, exitFailed)
+	}
+	if !strings.Contains(out, "ERR!") || !strings.Contains(out, "fig12c") {
+		t.Errorf("keepgoing stdout lacks the partial table: %q", out)
+	}
+	if !strings.Contains(serr, "point 2") {
+		t.Errorf("stderr lacks the failed point: %q", serr)
+	}
+}
+
+// The acceptance path: a run killed mid-sweep exits 130 with its
+// completed points checkpointed; rerunning with -resume exits 0 and the
+// resumed stdout is byte-identical to an uninterrupted run's.
+func TestExitInterruptedAndResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	base := []string{"-run", "fig12c", "-quick", "-workers", "1"}
+
+	_, ref, _ := execRun(t, base...)
+
+	code, _, serr := execRun(t, append(base,
+		"-checkpoint", ckpt, "-faults", "kill@fig12c:3")...)
+	if code != exitInterrupted {
+		t.Fatalf("killed run = %d, want %d (stderr %q)", code, exitInterrupted, serr)
+	}
+	if !strings.Contains(serr, "-resume") {
+		t.Errorf("interrupted stderr does not point at -resume: %q", serr)
+	}
+
+	code, out, serr := execRun(t, append(base, "-checkpoint", ckpt, "-resume")...)
+	if code != exitOK {
+		t.Fatalf("resumed run = %d, want %d (stderr %q)", code, exitOK, serr)
+	}
+	if out != ref {
+		t.Fatalf("resumed stdout differs from the uninterrupted run:\n--- resumed\n%s\n--- reference\n%s", out, ref)
+	}
+	if !strings.Contains(serr, "3 replayed") {
+		t.Errorf("stderr does not report the 3 replayed points: %q", serr)
 	}
 }

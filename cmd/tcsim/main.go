@@ -41,6 +41,7 @@ func main() {
 	sizes := flag.String("sizes", "", "comma-separated square sizes to sweep (m = n = k); each point runs on its own simulator (timing only, -verify is ignored)")
 	workers := flag.Int("workers", 0, "worker pool size for -sizes sweeps (0 = one per CPU)")
 	tlActive := flag.Int("tlactive", 0, "two-level scheduler active-subset size per sub-core (0 = config default; other policies ignore it)")
+	maxCycles := flag.Uint64("maxcycles", 0, "simulated-cycle budget per launch; a runaway kernel fails with a cycle-budget error instead of spinning (0 = generous backstop)")
 	legacyFrag := flag.Bool("legacyfrag", false, "route wmma fragments through the per-element legacy path (debug/ablation; results are bit-identical, just slower)")
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 	}
 
 	if *sizes != "" {
-		if err := runSweep(cfg, *kernel, *policy, *fp16acc, *sizes, *workers); err != nil {
+		if err := runSweep(cfg, *kernel, *policy, *fp16acc, *sizes, *workers, *maxCycles); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -83,6 +84,7 @@ func main() {
 	}
 
 	dev := cuda.MustNewDevice(cfg)
+	dev.MaxCycles = *maxCycles
 	var args []uint64
 	var want *tensor.Matrix
 	if *kernel == "maxperf" {
@@ -218,7 +220,7 @@ func buildLaunch(cfg gpu.Config, kernel, policy string, prec kernels.GemmPrecisi
 // runSweep runs the kernel across the comma-separated square sizes, one
 // independent device per point, fanned across the worker pool. Results
 // print in size order whatever the completion order.
-func runSweep(cfg gpu.Config, kernel, policy string, fp16acc bool, sizesCSV string, workers int) error {
+func runSweep(cfg gpu.Config, kernel, policy string, fp16acc bool, sizesCSV string, workers int, maxCycles uint64) error {
 	var sizes []int
 	for _, f := range strings.Split(sizesCSV, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
@@ -252,6 +254,7 @@ func runSweep(cfg gpu.Config, kernel, policy string, fp16acc bool, sizesCSV stri
 					continue
 				}
 				dev := cuda.MustNewDevice(cfg)
+				dev.MaxCycles = maxCycles
 				var args []uint64
 				if kernel == "maxperf" {
 					args = []uint64{dev.Mem.Malloc(2048)}

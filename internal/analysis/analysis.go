@@ -1,8 +1,8 @@
 // Package analysis is simlint's static-analysis core: a small,
 // stdlib-only framework in the shape of golang.org/x/tools/go/analysis
-// (Analyzer / Pass / Diagnostic), plus the seven analyzers that turn the
-// simulator's reproducibility and concurrency conventions into
-// mechanically enforced invariants:
+// (Analyzer / Pass / Diagnostic), plus the eight analyzers that turn the
+// simulator's reproducibility, concurrency and fault-tolerance
+// conventions into mechanically enforced invariants:
 //
 //   - determinism:  no wall clocks, unseeded randomness, map-order leaks
 //     or map formatting in simulator packages (the purity the
@@ -24,6 +24,9 @@
 //     contract the concurrent serving path depends on
 //   - guardedby:    //simlint:guardedby mu fields are accessed only
 //     under a syntactic mu.Lock() / defer mu.Unlock() scope
+//   - recoversurface: every recover() converts the panic into an error
+//     carrying the failing unit's identity (experiment ID, point index)
+//     — the trail the keep-going sweep and its operators depend on
 //
 // The framework is intentionally dependency-free: the container pins the
 // module graph, so the x/tools analysis driver is reimplemented here on
@@ -97,7 +100,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer, HotpathAnalyzer, KnobpairAnalyzer, StatcompleteAnalyzer,
-		GlobalmutAnalyzer, FrozenAnalyzer, GuardedbyAnalyzer,
+		GlobalmutAnalyzer, FrozenAnalyzer, GuardedbyAnalyzer, RecoversurfaceAnalyzer,
 	}
 }
 

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The recoversurface analyzer. The fault-tolerance layer's contract is
+// that a panic anywhere in the engine surfaces as an error carrying the
+// identity of the failing unit — which experiment, which data point —
+// so a keep-going sweep can annotate the right cell and an operator can
+// find the culprit in a thousand-point run. A bare recover() that drops
+// the value, or wraps it without identity ("panic: %v"), silently
+// destroys that trail.
+//
+// In every non-test file it requires each recover() call to be:
+//
+//  1. bound and checked in the canonical shape
+//
+//     if r := recover(); r != nil { ... }
+//
+//  2. converted, inside that if-body, by a fmt.Errorf call whose
+//     arguments include the recovered value AND at least one
+//     non-literal identity argument (an experiment ID, a point index —
+//     anything beyond string constants).
+//
+// A sanctioned exception — a recover site that genuinely has no
+// identity to carry, or re-panics — carries //simlint:ok <why> on or
+// above the recover line. Test files may recover freely; they are the
+// crash harnesses.
+var RecoversurfaceAnalyzer = &Analyzer{
+	Name: "recoversurface",
+	Doc:  "every recover() must surface the panic as an error carrying the failing unit's identity",
+	Run:  runRecoversurface,
+}
+
+func runRecoversurface(pass *Pass) {
+	for _, f := range pass.Files {
+		dirs := FileDirectives(pass.Fset, f)
+		// surfaced maps the positions of recover() calls that sit in the
+		// canonical if-shape to whether their body converts properly.
+		surfaced := map[token.Pos]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			r, call, ok := recoverBinding(ifs)
+			if !ok {
+				return true
+			}
+			surfaced[call.Pos()] = bodySurfaces(pass, ifs.Body, r)
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRecoverCall(call) {
+				return true
+			}
+			if suppressed(dirs, pass.Fset, call.Pos(), "ok") {
+				return true
+			}
+			converted, canonical := surfaced[call.Pos()]
+			switch {
+			case !canonical:
+				pass.Reportf(call.Pos(), "recover() must bind its value in `if r := recover(); r != nil` and surface it as an error (or carry //simlint:ok <why>)")
+			case !converted:
+				pass.Reportf(call.Pos(), "recovered panic must flow into fmt.Errorf with the recovered value and a non-literal identity argument (experiment ID, point index, ...), or carry //simlint:ok <why>")
+			}
+			return true
+		})
+	}
+}
+
+// recoverBinding matches `if r := recover(); r != nil` and returns the
+// bound identifier and the recover call.
+func recoverBinding(ifs *ast.IfStmt) (*ast.Ident, *ast.CallExpr, bool) {
+	asg, ok := ifs.Init.(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return nil, nil, false
+	}
+	id, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil, false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || !isRecoverCall(call) {
+		return nil, nil, false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.NEQ {
+		return nil, nil, false
+	}
+	x, xok := cond.X.(*ast.Ident)
+	y, yok := cond.Y.(*ast.Ident)
+	if !xok || !yok {
+		return nil, nil, false
+	}
+	if !(x.Name == id.Name && y.Name == "nil") && !(y.Name == id.Name && x.Name == "nil") {
+		return nil, nil, false
+	}
+	return id, call, true
+}
+
+// isRecoverCall reports whether the call is the recover() builtin.
+func isRecoverCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "recover" && len(call.Args) == 0
+}
+
+// bodySurfaces reports whether the if-body contains a fmt.Errorf call
+// whose arguments include the recovered value r and at least one other
+// non-literal argument — the identity the error must carry.
+func bodySurfaces(pass *Pass, body *ast.BlockStmt, r *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Errorf" || selectorPackage(pass, sel) != "fmt" {
+			return true
+		}
+		usesR, hasIdentity := false, false
+		for i, arg := range call.Args {
+			if i == 0 {
+				continue // the format string
+			}
+			switch a := arg.(type) {
+			case *ast.Ident:
+				if a.Name == r.Name {
+					usesR = true
+					continue
+				}
+				hasIdentity = true
+			case *ast.BasicLit:
+				// A literal is not identity: it names no failing unit.
+			default:
+				hasIdentity = true
+			}
+		}
+		if usesR && hasIdentity {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

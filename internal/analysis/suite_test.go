@@ -45,6 +45,10 @@ func TestGuardedbyFixture(t *testing.T) {
 	analysistest.Run(t, moduleRoot, analysis.GuardedbyAnalyzer, "./internal/analysis/testdata/src/guardedby")
 }
 
+func TestRecoversurfaceFixture(t *testing.T) {
+	analysistest.Run(t, moduleRoot, analysis.RecoversurfaceAnalyzer, "./internal/analysis/testdata/src/recoversurface")
+}
+
 // TestRepoSweepClean is the in-tree lint gate: the full suite over the
 // whole module must come back empty. CI additionally runs cmd/simlint
 // directly so findings land in the job summary with file:line

@@ -1,0 +1,77 @@
+// Package recoversurface is the simlint recoversurface fixture: every
+// recover() shape the analyzer allows and flags.
+package recoversurface
+
+import "fmt"
+
+// runPoint surfaces the panic with the point's identity: allowed.
+func runPoint(id string, i int, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s point %d panicked: %v", id, i, r)
+		}
+	}()
+	return fn()
+}
+
+// runSelector carries identity via a selector expression: allowed.
+type experiment struct{ ID string }
+
+func runSelector(e experiment, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment %s panicked: %v", e.ID, r)
+		}
+	}()
+	return fn()
+}
+
+// swallow drops the recovered value entirely: flagged.
+func swallow(fn func()) {
+	defer func() {
+		recover() // want "recover\(\) must bind its value"
+	}()
+	fn()
+}
+
+// discard binds to blank without the canonical check: flagged.
+func discard(fn func()) {
+	defer func() {
+		_ = recover() // want "recover\(\) must bind its value"
+	}()
+	fn()
+}
+
+// anonymous converts the panic but loses the identity — no argument
+// beyond the recovered value and literals: flagged.
+func anonymous(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want "non-literal identity argument"
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// logged checks the value but never builds an error at all: flagged.
+func logged(fn func()) {
+	defer func() {
+		if r := recover(); r != nil { // want "non-literal identity argument"
+			fmt.Println("recovered", r)
+		}
+	}()
+	fn()
+}
+
+// sanctioned re-panics after cleanup; no error to build, and the
+// directive records why: allowed.
+func sanctioned(cleanup, fn func()) {
+	defer func() {
+		//simlint:ok re-panics after releasing the pool slot; identity is attached upstream
+		if r := recover(); r != nil {
+			cleanup()
+			panic(r)
+		}
+	}()
+	fn()
+}

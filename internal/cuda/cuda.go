@@ -60,6 +60,9 @@ func (m *DeviceMemory) Malloc(n int) uint64 {
 type Device struct {
 	Sim *gpu.Simulator
 	Mem *DeviceMemory
+	// MaxCycles bounds every Launch on this device (0 = the simulator's
+	// generous backstop) — the watchdog that reaps runaway kernels.
+	MaxCycles uint64
 }
 
 // NewDevice builds a device for the GPU configuration.
@@ -165,7 +168,8 @@ func decodeFrom(buf []byte, p wmma.Precision) float64 {
 
 // Launch runs a kernel on the timing simulator.
 func (d *Device) Launch(k *ptx.Kernel, grid, block ptx.Dim3, args ...uint64) (*gpu.Stats, error) {
-	return d.Sim.Run(gpu.LaunchSpec{Kernel: k, Grid: grid, Block: block, Args: args, Global: d.Mem})
+	return d.Sim.Run(gpu.LaunchSpec{Kernel: k, Grid: grid, Block: block, Args: args, Global: d.Mem,
+		MaxCycles: d.MaxCycles})
 }
 
 // LaunchSpec runs a fully specified launch (sampling, tracing) on the

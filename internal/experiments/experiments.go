@@ -6,10 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
 	"repro/internal/ptx"
@@ -44,10 +47,49 @@ type Options struct {
 	// the same value is the global budget shared by every experiment.
 	Workers int
 
+	// Ctx, when non-nil, cancels the run: the pool stops handing out
+	// data points and in-flight simulations abort at their next
+	// cancellation poll, so a SIGINT drains gracefully — completed
+	// tables still stream and journaled points survive for -resume.
+	Ctx context.Context
+	// MaxCycles is the per-simulation cycle-budget watchdog (0 = off,
+	// i.e. the simulator's 4e9 backstop): a malformed or injected
+	// infinite-loop kernel is reaped with gpu.ErrCycleBudget instead of
+	// occupying a shared pool worker forever.
+	MaxCycles uint64
+	// KeepGoing isolates point failures: a failing data point renders
+	// as an annotated error cell and is aggregated into the
+	// experiment's PointFailures error, instead of discarding the
+	// experiment's remaining points.
+	KeepGoing bool
+	// Retries bounds retry of the typed Transient error class per data
+	// point (0 = no retry), with the deterministic backoff schedule
+	// retryDelay documents.
+	Retries int
+	// Journal, when non-nil, checkpoints every completed data point and
+	// replays journaled points instead of re-simulating them (see
+	// checkpoint.go).
+	Journal *Journal
+	// Faults, when non-nil, is the deterministic fault-injection plan
+	// (internal/faultinject) the tests use to prove isolation, retry,
+	// watchdog and resume behavior.
+	Faults *faultinject.Plan
+
+	// retryBase overrides the backoff base (tests collapse the
+	// schedule; <0 means no sleep at all).
+	retryBase time.Duration
 	// pool, when set by RunAll, routes every data point of every
 	// experiment through one shared cross-experiment worker pool so the
 	// Workers budget is global rather than per experiment.
 	pool *sharedPool
+}
+
+// ctx resolves the cancellation context (Background when unset).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Table is one regenerated artifact.
@@ -229,8 +271,10 @@ func (o Options) titanV(sms int) (gpu.Config, error) {
 
 // launchOn runs a generated kernel on a fresh device of the given config,
 // with zero-filled operands (timing experiments are data independent) and
-// optional CTA sampling / tracing.
-func launchOn(cfg gpu.Config, l *kernels.Launch, elems []wmma.Precision, dims [][2]int,
+// optional CTA sampling / tracing. The receiver threads the run's
+// cancellation context and cycle-budget watchdog into the simulation,
+// so every experiment's per-point launch is interruptible and bounded.
+func (o Options) launchOn(cfg gpu.Config, l *kernels.Launch, elems []wmma.Precision, dims [][2]int,
 	maxCTAs int, trace bool) (*gpu.Stats, error) {
 	sim, err := gpu.New(cfg)
 	if err != nil {
@@ -243,13 +287,15 @@ func launchOn(cfg gpu.Config, l *kernels.Launch, elems []wmma.Precision, dims []
 		args[i] = mem.alloc(n)
 	}
 	return sim.Run(gpu.LaunchSpec{
-		Kernel:  l.Kernel,
-		Grid:    l.Grid,
-		Block:   l.Block,
-		Args:    args,
-		Global:  mem,
-		MaxCTAs: maxCTAs,
-		Trace:   trace,
+		Kernel:    l.Kernel,
+		Grid:      l.Grid,
+		Block:     l.Block,
+		Args:      args,
+		Global:    mem,
+		MaxCTAs:   maxCTAs,
+		Trace:     trace,
+		MaxCycles: o.MaxCycles,
+		Ctx:       o.Ctx,
 	})
 }
 

@@ -12,6 +12,11 @@ import (
 )
 
 // GEMM-scale experiments: Section V's evaluation (Figures 14–17).
+//
+// Every point loop routes through runPoints (points.go), so the whole
+// section inherits checkpoint/resume, keep-going failure isolation,
+// bounded retry and fault injection. Point payload types carry exported
+// fields only: they are journaled as JSON and must replay byte-exactly.
 
 // gemmDims returns the operand allocation dims for an m×n×k GEMM launch
 // with args (a, b, c, d).
@@ -45,43 +50,47 @@ func Fig14a(opt Options) (*Table, error) {
 	t := &Table{ID: "fig14a", Title: "WMMA GEMM kernel cycles vs matrix size (simulator vs hardware proxy)",
 		Columns: []string{"size", "sim_cycles", "hw_cycles", "sim/hw"}}
 	type point struct {
-		cycles uint64
-		hw     float64
+		Cycles uint64
+		HW     float64
 	}
-	pts := make([]point, len(sizes))
-	err = forEach(opt, len(sizes), func(i int) error {
+	pts, perr, err := runPoints(opt, "fig14a", len(sizes), func(i int) (point, error) {
 		n := sizes[i]
 		l, err := kernels.WMMAGemmShared(kernels.TensorMixed, n, n, n)
 		if err != nil {
-			return err
+			return point{}, err
 		}
-		st, err := launchOn(cfg, l, gemmElems(wmma.F32), gemmDims(n, n, n), 0, false)
+		st, err := opt.launchOn(cfg, l, gemmElems(wmma.F32), gemmDims(n, n, n), 0, false)
 		if err != nil {
-			return err
+			return point{}, err
 		}
-		pts[i] = point{st.Cycles, proxy.Cycles(hwproxy.GemmSpec{M: n, N: n, K: n, Kind: hwproxy.TensorCore,
-			BlockM: 32, BlockN: 32, CBytes: 4})}
-		return nil
+		return point{st.Cycles, proxy.Cycles(hwproxy.GemmSpec{M: n, N: n, K: n, Kind: hwproxy.TensorCore,
+			BlockM: 32, BlockN: 32, CBytes: 4})}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	var ratios, simSeries, hwSeries []float64
 	for i, p := range pts {
-		ratio := float64(p.cycles) / p.hw
+		if !pointOK(perr, i) {
+			t.AddRow(errRow([]string{fmtI(uint64(sizes[i]))}, len(t.Columns))...)
+			continue
+		}
+		ratio := float64(p.Cycles) / p.HW
 		ratios = append(ratios, ratio)
-		simSeries = append(simSeries, float64(p.cycles))
-		hwSeries = append(hwSeries, p.hw)
-		t.AddRow(fmtI(uint64(sizes[i])), fmtI(p.cycles), fmtF(p.hw), fmtF(ratio))
+		simSeries = append(simSeries, float64(p.Cycles))
+		hwSeries = append(hwSeries, p.HW)
+		t.AddRow(fmtI(uint64(sizes[i])), fmtI(p.Cycles), fmtF(p.HW), fmtF(ratio))
 	}
-	t.Note("relative deviation stddev = %.1f%% (paper: < 5%%)", 100*stats.StdDev(ratios)/stats.Mean(ratios))
-	t.Note("cycle-count correlation = %.2f%%", 100*stats.Correlation(simSeries, hwSeries))
-	return t, nil
+	if len(ratios) > 0 {
+		t.Note("relative deviation stddev = %.1f%% (paper: < 5%%)", 100*stats.StdDev(ratios)/stats.Mean(ratios))
+		t.Note("cycle-count correlation = %.2f%%", 100*stats.Correlation(simSeries, hwSeries))
+	}
+	return t, pointFailures(t, "fig14a", perr)
 }
 
 // cutlassPoint runs one CUTLASS configuration on the simulator and the
 // proxy, returning (hwIPC, simIPC).
-func cutlassPoint(cfg gpu.Config, proxy hwproxy.Model, c cutlass.GemmConfig, maxCTAs int) (float64, float64, error) {
+func cutlassPoint(opt Options, cfg gpu.Config, proxy hwproxy.Model, c cutlass.GemmConfig, maxCTAs int) (float64, float64, error) {
 	l, err := cutlass.Build(c)
 	if err != nil {
 		return 0, 0, err
@@ -92,7 +101,7 @@ func cutlassPoint(cfg gpu.Config, proxy hwproxy.Model, c cutlass.GemmConfig, max
 		cd = wmma.F16
 		cb = 2
 	}
-	st, err := launchOn(cfg, l, gemmElems(cd), gemmDims(c.M, c.N, c.K), maxCTAs, false)
+	st, err := opt.launchOn(cfg, l, gemmElems(cd), gemmDims(c.M, c.N, c.K), maxCTAs, false)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -142,28 +151,32 @@ func Fig14b(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "fig14b", Title: "CUTLASS GEMM IPC: simulator vs hardware proxy",
 		Columns: []string{"config", "hw_ipc", "sim_ipc"}}
-	type ipcPoint struct{ hw, sim float64 }
-	res := make([]ipcPoint, len(pts))
-	err = forEach(opt, len(pts), func(i int) error {
-		hw, sim, err := cutlassPoint(cfg, proxy, pts[i].c, 0)
+	type ipcPoint struct{ HW, Sim float64 }
+	res, perr, err := runPoints(opt, "fig14b", len(pts), func(i int) (ipcPoint, error) {
+		hw, sim, err := cutlassPoint(opt, cfg, proxy, pts[i].c, 0)
 		if err != nil {
-			return err
+			return ipcPoint{}, err
 		}
-		res[i] = ipcPoint{hw, sim}
-		return nil
+		return ipcPoint{hw, sim}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	var hws, sims []float64
 	for i, r := range res {
-		hws = append(hws, r.hw)
-		sims = append(sims, r.sim)
-		t.AddRow(pts[i].c.String(), fmtF(r.hw), fmtF(r.sim))
+		if !pointOK(perr, i) {
+			t.AddRow(errRow([]string{pts[i].c.String()}, len(t.Columns))...)
+			continue
+		}
+		hws = append(hws, r.HW)
+		sims = append(sims, r.Sim)
+		t.AddRow(pts[i].c.String(), fmtF(r.HW), fmtF(r.Sim))
 	}
-	corr := stats.Correlation(hws, sims)
-	t.Note("IPC correlation = %.2f%% over %d kernels (paper: 99.6%%)", 100*corr, len(pts))
-	return t, nil
+	if len(hws) > 0 {
+		corr := stats.Correlation(hws, sims)
+		t.Note("IPC correlation = %.2f%% over %d kernels (paper: 99.6%%)", 100*corr, len(hws))
+	}
+	return t, pointFailures(t, "fig14b", perr)
 }
 
 // Fig14c plots CUTLASS IPC against matrix size for the simulator and the
@@ -189,30 +202,39 @@ func Fig14c(opt Options) (*Table, error) {
 
 	t := &Table{ID: "fig14c", Title: "CUTLASS GEMM IPC vs matrix size",
 		Columns: []string{"size", "hw_ipc", "sim_ipc", "sim/hw"}}
-	type ipcPoint struct{ hw, sim float64 }
-	res := make([]ipcPoint, len(sizes))
-	err = forEach(opt, len(sizes), func(i int) error {
+	type ipcPoint struct{ HW, Sim float64 }
+	res, perr, err := runPoints(opt, "fig14c", len(sizes), func(i int) (ipcPoint, error) {
 		n := sizes[i]
 		cap := maxCTAs
 		if n >= 1024 {
 			cap = cfg.NumSMs * 12 // sample ~a wave of CTAs for the largest sizes
 		}
-		hw, sim, err := cutlassPoint(cfg, proxy, cutlass.GemmConfig{
+		hw, sim, err := cutlassPoint(opt, cfg, proxy, cutlass.GemmConfig{
 			Policy: pol, Precision: kernels.TensorMixed, M: n, N: n, K: n}, cap)
 		if err != nil {
-			return err
+			return ipcPoint{}, err
 		}
-		res[i] = ipcPoint{hw, sim}
-		return nil
+		return ipcPoint{hw, sim}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, r := range res {
-		t.AddRow(fmtI(uint64(sizes[i])), fmtF(r.hw), fmtF(r.sim), fmtF(r.sim/r.hw))
+		if !pointOK(perr, i) {
+			t.AddRow(errRow([]string{fmtI(uint64(sizes[i]))}, len(t.Columns))...)
+			continue
+		}
+		t.AddRow(fmtI(uint64(sizes[i])), fmtF(r.HW), fmtF(r.Sim), fmtF(r.Sim/r.HW))
 	}
 	t.Note("the paper's Figure 14c shows GPGPU-Sim trending above hardware as size grows")
-	return t, nil
+	return t, pointFailures(t, "fig14c", perr)
+}
+
+// fig15Row is one op's latency summary — the journaled payload, derived
+// from the (large) trace inside the point so the checkpoint stays small.
+type fig15Row struct {
+	Count              int
+	Min, Med, P95, Max float64
 }
 
 // Fig15 profiles the latency distribution of the three wmma instructions
@@ -239,32 +261,37 @@ func Fig15(opt Options) (*Table, error) {
 		return nil, err
 	}
 	maxCTAs := cfg.NumSMs * 8
-	// A single simulation, but still routed through forEach so RunAll's
-	// shared pool budget covers it like every other data point.
-	var st *gpu.Stats
-	err = forEach(opt, 1, func(int) error {
-		st, err = launchOn(cfg, l, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs, true)
-		return err
+	// A single simulation, but still routed through runPoints so RunAll's
+	// shared pool budget, the checkpoint journal and fault injection all
+	// cover it like every other data point.
+	rows, perr, err := runPoints(opt, "fig15", 1, func(int) ([3]fig15Row, error) {
+		st, err := opt.launchOn(cfg, l, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs, true)
+		if err != nil {
+			return [3]fig15Row{}, err
+		}
+		var out [3]fig15Row
+		for k, xs := range [][]float64{st.Trace.WmmaLoad, st.Trace.WmmaMMA, st.Trace.WmmaStore} {
+			out[k] = fig15Row{len(xs), stats.Min(xs), stats.Median(xs),
+				stats.Percentile(xs, 95), stats.Max(xs)}
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{ID: "fig15", Title: fmt.Sprintf("wmma latency distribution, %d×%d shared-memory GEMM", n, n),
 		Columns: []string{"op", "count", "min", "median", "p95", "max"}}
-	rows := []struct {
-		name string
-		xs   []float64
-	}{
-		{"wmma.load", st.Trace.WmmaLoad},
-		{"wmma.mma", st.Trace.WmmaMMA},
-		{"wmma.store", st.Trace.WmmaStore},
-	}
-	for _, r := range rows {
-		t.AddRow(r.name, fmtI(uint64(len(r.xs))), fmtF(stats.Min(r.xs)),
-			fmtF(stats.Median(r.xs)), fmtF(stats.Percentile(r.xs, 95)), fmtF(stats.Max(r.xs)))
+	names := []string{"wmma.load", "wmma.mma", "wmma.store"}
+	for k, name := range names {
+		if !pointOK(perr, 0) {
+			t.AddRow(errRow([]string{name}, len(t.Columns))...)
+			continue
+		}
+		r := rows[0][k]
+		t.AddRow(name, fmtI(uint64(r.Count)), fmtF(r.Min), fmtF(r.Med), fmtF(r.P95), fmtF(r.Max))
 	}
 	t.Note("paper minimums: load 125, mma 70, store 120 cycles; occasional high outliers from scheduling and memory traffic")
-	return t, nil
+	return t, pointFailures(t, "fig15", perr)
 }
 
 // Fig16 plots median wmma latencies against matrix size for the
@@ -285,8 +312,7 @@ func Fig16(opt Options) (*Table, error) {
 	}
 	t := &Table{ID: "fig16", Title: "Median wmma latency vs matrix size (shared vs global operands)",
 		Columns: []string{"size", "load(sh)", "load(gl)", "mma(sh)", "mma(gl)", "store(sh)", "store(gl)"}}
-	rows := make([][6]float64, len(sizes))
-	err = forEach(opt, len(sizes), func(i int) error {
+	rows, perr, err := runPoints(opt, "fig16", len(sizes), func(i int) ([6]float64, error) {
 		n := sizes[i]
 		maxCTAs := cfg.NumSMs * 8
 		shared, err := cutlass.Build(cutlass.GemmConfig{
@@ -294,36 +320,39 @@ func Fig16(opt Options) (*Table, error) {
 			Precision: kernels.TensorMixed, M: n, N: n, K: n,
 		})
 		if err != nil {
-			return err
+			return [6]float64{}, err
 		}
-		stSh, err := launchOn(cfg, shared, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs, true)
+		stSh, err := opt.launchOn(cfg, shared, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs, true)
 		if err != nil {
-			return err
+			return [6]float64{}, err
 		}
 		naive, err := kernels.WMMAGemmNaive(kernels.TensorMixed, n, n, n)
 		if err != nil {
-			return err
+			return [6]float64{}, err
 		}
-		stGl, err := launchOn(cfg, naive, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs*4, true)
+		stGl, err := opt.launchOn(cfg, naive, gemmElems(wmma.F32), gemmDims(n, n, n), maxCTAs*4, true)
 		if err != nil {
-			return err
+			return [6]float64{}, err
 		}
-		rows[i] = [6]float64{
+		return [6]float64{
 			stats.Median(stSh.Trace.WmmaLoad), stats.Median(stGl.Trace.WmmaLoad),
 			stats.Median(stSh.Trace.WmmaMMA), stats.Median(stGl.Trace.WmmaMMA),
 			stats.Median(stSh.Trace.WmmaStore), stats.Median(stGl.Trace.WmmaStore),
-		}
-		return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, r := range rows {
+		if !pointOK(perr, i) {
+			t.AddRow(errRow([]string{fmtI(uint64(sizes[i]))}, len(t.Columns))...)
+			continue
+		}
 		t.AddRow(fmtI(uint64(sizes[i])),
 			fmtF(r[0]), fmtF(r[1]), fmtF(r[2]), fmtF(r[3]), fmtF(r[4]), fmtF(r[5]))
 	}
 	t.Note("shared-memory loads stay flat while global-operand loads grow with size — the paper reports >100× at large sizes")
-	return t, nil
+	return t, pointFailures(t, "fig16", perr)
 }
 
 // fig17Series describes one line of Figure 17.
@@ -384,16 +413,10 @@ func Fig17(opt Options) (*Table, error) {
 	// One job per (size, series) cell, plus a final job for the MAX PERF
 	// microbenchmark — every cell is an independent launch on its own
 	// simulator, so the whole grid fans out across the worker pool.
-	cells := make([]float64, len(sizes)*len(series))
-	var maxPerfTFLOPS float64
-	err = forEach(opt, len(cells)+1, func(i int) error {
-		if i == len(cells) {
-			v, err := fig17MaxPerf(cfg, scale, opt)
-			if err != nil {
-				return err
-			}
-			maxPerfTFLOPS = v
-			return nil
+	nCells := len(sizes) * len(series)
+	cells, perr, err := runPoints(opt, "fig17", nCells+1, func(i int) (float64, error) {
+		if i == nCells {
+			return fig17MaxPerf(cfg, scale, opt)
 		}
 		n := sizes[i/len(series)]
 		s := series[i%len(series)]
@@ -405,31 +428,36 @@ func Fig17(opt Options) (*Table, error) {
 		}
 		l, err := s.build(n, n, k)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		maxCTAs := cfg.NumSMs * 8
-		st, err := launchOn(cfg, l, gemmElems(s.cd), gemmDims(n, n, k), maxCTAs, false)
+		st, err := opt.launchOn(cfg, l, gemmElems(s.cd), gemmDims(n, n, k), maxCTAs, false)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		sampled := l.FLOPs * float64(st.CTAsSimulated) / float64(st.CTAsTotal)
-		cells[i] = sampled / st.Seconds(cfg) / 1e12 * scale
-		return nil
+		return sampled / st.Seconds(cfg) / 1e12 * scale, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	cell := func(i int) string {
+		if !pointOK(perr, i) {
+			return errMark
+		}
+		return fmtF(cells[i])
+	}
 	for si, n := range sizes {
 		row := []string{fmtI(uint64(n))}
 		for ci := range series {
-			row = append(row, fmtF(cells[si*len(series)+ci]))
+			row = append(row, cell(si*len(series)+ci))
 		}
-		row = append(row, fmtF(maxPerfTFLOPS), fmtF(peak))
+		row = append(row, cell(nCells), fmtF(peak))
 		t.AddRow(row...)
 	}
 	t.Note("simulated on a %d-SM slice with proportional bandwidth, scaled ×%.1f to the 80-SM chip", cfg.NumSMs, scale)
 	t.Note("paper: TC ≈ 3–6× SGEMM and ≈3× HGEMM; max sustained 109.6 TFLOPS (FP16) vs 125 theoretical")
-	return t, nil
+	return t, pointFailures(t, "fig17", perr)
 }
 
 func fig17MaxPerf(cfg gpu.Config, scale float64, opt Options) (float64, error) {
@@ -441,7 +469,7 @@ func fig17MaxPerf(cfg gpu.Config, scale float64, opt Options) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	st, err := launchOn(cfg, l, []wmma.Precision{wmma.F16}, [][2]int{{64, 64}}, 0, false)
+	st, err := opt.launchOn(cfg, l, []wmma.Precision{wmma.F16}, [][2]int{{64, 64}}, 0, false)
 	if err != nil {
 		return 0, err
 	}

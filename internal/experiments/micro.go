@@ -259,19 +259,17 @@ func Fig12c(opt Options) (*Table, error) {
 		return nil, err
 	}
 	cfg.NumSMs = 1
-	cycles := make([]uint64, 8)
-	err = forEach(opt, len(cycles), func(i int) error {
+	cycles, perr, err := runPoints(opt, "fig12c", 8, func(i int) (uint64, error) {
 		warps := i + 1
 		l, err := kernels.MMALoop(kernels.TensorMixed, warps, iters, 2)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		st, err := launchOn(cfg, l, []wmma.Precision{wmma.F16}, [][2]int{{64, 64}}, 0, false)
+		st, err := opt.launchOn(cfg, l, []wmma.Precision{wmma.F16}, [][2]int{{64, 64}}, 0, false)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		cycles[i] = st.Cycles
-		return nil
+		return st.Cycles, nil
 	})
 	if err != nil {
 		return nil, err
@@ -279,11 +277,18 @@ func Fig12c(opt Options) (*Table, error) {
 	var series []float64
 	for i, c := range cycles {
 		warps := i + 1
+		if !pointOK(perr, i) {
+			series = append(series, 0)
+			t.AddRow(errRow([]string{fmtI(uint64(warps))}, len(t.Columns))...)
+			continue
+		}
 		series = append(series, float64(c))
 		t.AddRow(fmtI(uint64(warps)), fmtI(c), fmtF(float64(c)/float64(warps*iters*2)))
 	}
-	knee := series[4] / series[3]
-	t.Note("knee at 4 warps: cycles(5)/cycles(4) = %.2f (flat before, rising after — only 4 warps issue HMMA concurrently per SM)", knee)
-	t.Note("paper Figure 12c shows the same flat-then-rising shape with the knee at 4 warps")
-	return t, nil
+	if pointOK(perr, 3) && pointOK(perr, 4) {
+		knee := series[4] / series[3]
+		t.Note("knee at 4 warps: cycles(5)/cycles(4) = %.2f (flat before, rising after — only 4 warps issue HMMA concurrently per SM)", knee)
+		t.Note("paper Figure 12c shows the same flat-then-rising shape with the knee at 4 warps")
+	}
+	return t, pointFailures(t, "fig12c", perr)
 }

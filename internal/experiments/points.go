@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/gpu"
+	"repro/internal/ptx"
+)
+
+// The fault-tolerant data-point engine. runPoints wraps forEach with
+// the per-point concerns the plain index loop cannot express:
+//
+//   - checkpoint replay/record against the Options.Journal (points.go
+//     never re-simulates a journaled point; see checkpoint.go)
+//   - per-point panic isolation and, under Options.KeepGoing, failure
+//     isolation: a failing point becomes an annotated table cell
+//     instead of discarding the experiment's remaining points
+//   - bounded retry with deterministic backoff for the typed Transient
+//     error class (the seam the multi-node coordinator will reuse)
+//   - deterministic fault injection (internal/faultinject), gated
+//     entirely by Options.Faults — a nil plan costs one predicate
+//
+// Every simulating experiment routes its point loop through runPoints,
+// so the whole registry inherits the layer at once.
+
+// errMark is the cell marker rendered for a failed data point when
+// Options.KeepGoing preserves the rest of the table.
+const errMark = "ERR!"
+
+// PointError is one data point's failure, carrying the identity the
+// checkpoint and retry machinery key on.
+type PointError struct {
+	Exp   string
+	Index int
+	Err   error
+}
+
+func (e PointError) Error() string {
+	return fmt.Sprintf("%s point %d: %v", e.Exp, e.Index, e.Err)
+}
+
+func (e PointError) Unwrap() error { return e.Err }
+
+// PointFailures aggregates the failed points of one experiment run
+// under Options.KeepGoing. It is returned alongside the (partial)
+// table, so RunAll's Result carries both.
+type PointFailures struct {
+	Points []PointError
+}
+
+func (e *PointFailures) Error() string {
+	first := e.Points[0]
+	if len(e.Points) == 1 {
+		return fmt.Sprintf("1 data point failed: %v", first)
+	}
+	return fmt.Sprintf("%d data points failed (first: %v)", len(e.Points), first)
+}
+
+// AsPointFailures unwraps an experiment error into its per-point
+// failures, if that is what it is.
+func AsPointFailures(err error) (*PointFailures, bool) {
+	var pf *PointFailures
+	ok := errors.As(err, &pf)
+	return pf, ok
+}
+
+// transienter is the typed transient-error class: any error exposing
+// Transient() bool true is safe to retry (faultinject.TransientError
+// implements it; real transient failures — a lost shard, a flaky
+// remote worker — will too).
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
+
+// retries resolves the bounded-retry knob: how many times a transient
+// point failure is retried (0 = no retry).
+func (o Options) retries() int {
+	if o.Retries < 0 {
+		return 0
+	}
+	return o.Retries
+}
+
+// retryDelay is the deterministic backoff schedule: base << attempt,
+// with no jitter — run-to-run reproducibility extends to the retry
+// path. The unexported base lets tests collapse the schedule.
+func (o Options) retryDelay(attempt int) time.Duration {
+	base := o.retryBase
+	if base == 0 {
+		base = 10 * time.Millisecond
+	}
+	if base < 0 {
+		return 0
+	}
+	return base << uint(attempt)
+}
+
+// runPoints runs one experiment's n data points through the
+// fault-tolerance layer and returns their payloads in index order.
+//
+// The second return value is nil when every point succeeded; under
+// Options.KeepGoing it holds per-point errors (indexed like vals, nil
+// entries for successes). The third is the experiment-fatal error:
+// without KeepGoing the lowest-indexed point failure, and in every mode
+// cancellation, checkpoint I/O failures and corrupt replays.
+//
+// T must round-trip through encoding/json byte-exactly for checkpoint
+// replay to preserve table bytes: exported fields of float64, integers
+// below 2^53, strings, arrays and slices thereof all qualify.
+func runPoints[T any](opt Options, expID string, n int, compute func(i int) (T, error)) ([]T, []error, error) {
+	vals := make([]T, n)
+	perr := make([]error, n)
+	var failed atomic.Bool
+	err := forEach(opt, n, func(i int) error {
+		if err := opt.ctx().Err(); err != nil {
+			return PointError{Exp: expID, Index: i,
+				Err: fmt.Errorf("not started: %w", err)}
+		}
+		key := PointKey(expID, i, opt)
+		if opt.Journal != nil {
+			if raw, ok := opt.Journal.Lookup(key); ok {
+				if err := json.Unmarshal(raw, &vals[i]); err != nil {
+					return PointError{Exp: expID, Index: i,
+						Err: fmt.Errorf("corrupt checkpoint payload: %w", err)}
+				}
+				return nil
+			}
+		}
+		v, err := computePoint(opt, expID, i, compute)
+		if err != nil {
+			if cerr := opt.ctx().Err(); cerr != nil {
+				// Cancellation trumps keep-going: an interrupted point
+				// is not a bad cell, it is the run shutting down.
+				return PointError{Exp: expID, Index: i, Err: err}
+			}
+			if opt.KeepGoing {
+				perr[i] = err
+				failed.Store(true)
+				return nil
+			}
+			return PointError{Exp: expID, Index: i, Err: err}
+		}
+		vals[i] = v
+		if opt.Journal != nil {
+			if err := opt.Journal.Record(key, expID, i, v); err != nil {
+				return PointError{Exp: expID, Index: i, Err: err}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if failed.Load() {
+		return vals, perr, nil
+	}
+	return vals, nil, nil
+}
+
+// computePoint runs one point with fault injection and bounded retry.
+func computePoint[T any](opt Options, expID string, i int, compute func(i int) (T, error)) (T, error) {
+	var zero T
+	for attempt := 0; ; attempt++ {
+		v, err := runPointOnce(opt, expID, i, attempt, compute)
+		if err == nil {
+			return v, nil
+		}
+		if attempt >= opt.retries() || !IsTransient(err) || opt.ctx().Err() != nil {
+			return zero, err
+		}
+		time.Sleep(opt.retryDelay(attempt))
+	}
+}
+
+// runPointOnce runs a single attempt: injected faults first, then the
+// real computation with panic isolation.
+func runPointOnce[T any](opt Options, expID string, i, attempt int, compute func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: %s point %d panicked: %v", expID, i, r)
+		}
+	}()
+	switch opt.Faults.At(expID, i, attempt) {
+	case faultinject.Panic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s point %d", expID, i))
+	case faultinject.Hang:
+		return v, opt.runHang()
+	case faultinject.Transient:
+		return v, &faultinject.TransientError{Attempt: attempt,
+			Msg: fmt.Sprintf("injected at %s point %d", expID, i)}
+	case faultinject.Kill:
+		opt.Faults.InvokeKill()
+		return v, fmt.Errorf("faultinject: killed at %s point %d: %w", expID, i, context.Canceled)
+	}
+	return compute(i)
+}
+
+// hangKernel builds the injected infinite-loop kernel: a single warp
+// spinning on an unconditional branch, the malformed workload the
+// cycle-budget watchdog exists to reap.
+func hangKernel() (*ptx.Kernel, error) {
+	b := ptx.NewBuilder("faultinject_hang")
+	b.Label("spin")
+	b.Bra("spin")
+	b.Exit()
+	return b.Build()
+}
+
+// runHang simulates the infinite-loop kernel on a one-SM slice under
+// the run's cycle budget and cancellation context. With the watchdog
+// off it spins until the 4e9-cycle backstop — exactly the hang the
+// MaxCycles option exists to bound — so tests always set MaxCycles.
+func (o Options) runHang() error {
+	k, err := hangKernel()
+	if err != nil {
+		return err
+	}
+	cfg := gpu.TitanV()
+	cfg.NumSMs = 1
+	sim, err := gpu.New(cfg)
+	if err != nil {
+		return err
+	}
+	_, err = sim.Run(gpu.LaunchSpec{
+		Kernel:    k,
+		Grid:      ptx.Dim3{X: 1, Y: 1, Z: 1},
+		Block:     ptx.Dim3{X: 32, Y: 1, Z: 1},
+		Global:    newZeroMemory(),
+		MaxCycles: o.MaxCycles,
+		Ctx:       o.Ctx,
+	})
+	if err == nil {
+		return fmt.Errorf("faultinject: hang kernel finished, which should be impossible")
+	}
+	return err
+}
+
+// pointFailures folds per-point errors into the experiment's aggregate
+// error and annotates the table with one note per failed cell, so a
+// keep-going table documents its own holes. Returns nil when perr is
+// nil or empty of failures.
+func pointFailures(t *Table, expID string, perr []error) error {
+	if perr == nil {
+		return nil
+	}
+	var pf PointFailures
+	for i, err := range perr {
+		if err != nil {
+			pf.Points = append(pf.Points, PointError{Exp: expID, Index: i, Err: err})
+		}
+	}
+	if len(pf.Points) == 0 {
+		return nil
+	}
+	for _, p := range pf.Points {
+		t.Note("%s cell: point %d failed: %v", errMark, p.Index, p.Err)
+	}
+	return &pf
+}
+
+// pointOK reports whether point i completed (perr nil or no entry).
+func pointOK(perr []error, i int) bool {
+	return perr == nil || perr[i] == nil
+}
+
+// errRow returns a row of errMark cells for a failed point, after the
+// given label cells.
+func errRow(labels []string, width int) []string {
+	row := append([]string{}, labels...)
+	for len(row) < width {
+		row = append(row, errMark)
+	}
+	return row
+}

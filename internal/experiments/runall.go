@@ -17,7 +17,10 @@ import (
 // Result is one experiment's outcome under RunAll.
 type Result struct {
 	Experiment Experiment
-	// Table is the regenerated artifact; nil when Err is set.
+	// Table is the regenerated artifact. It is nil when the experiment
+	// failed outright; under Options.KeepGoing both fields can be set —
+	// a partial table with errMark cells alongside the aggregated
+	// *PointFailures error (use AsPointFailures to unwrap).
 	Table *Table
 	// Err is the experiment's failure; other experiments keep running.
 	Err error
@@ -101,11 +104,13 @@ func (s *tableStreamer) record(i int, r Result) {
 }
 
 // runSafely runs one experiment, converting a panic into an error so a
-// bad experiment cannot take down the rest of the registry.
+// bad experiment cannot take down the rest of the registry. The error
+// carries the experiment's identity — the recoversurface contract every
+// recover() site in the engine honours.
 func runSafely(e Experiment, opt Options) (tb *Table, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			tb, err = nil, fmt.Errorf("panic: %v", r)
+			tb, err = nil, fmt.Errorf("experiment %s panicked: %v", e.ID, r)
 		}
 	}()
 	return e.Run(opt)

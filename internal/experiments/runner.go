@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,6 +20,13 @@ import (
 // registry's data points into one sharedPool bounded by Options.Workers,
 // while a single-experiment Run without a pool spins a private pool of
 // the same size. Either way fn(i) runs at most Workers at a time.
+//
+// Fault tolerance (points.go, checkpoint.go) layers on top: every path
+// below — sequential, private pool and shared pool — routes fn through
+// callSafely so a panicking data point surfaces as that point's error
+// instead of crashing the process, and every path stops handing out new
+// indexes once the run's context is canceled so a SIGINT drains
+// gracefully.
 
 // workers resolves the Options.Workers knob: 0 means one worker per CPU,
 // 1 forces the sequential path.
@@ -37,13 +45,17 @@ func (o Options) workers() int {
 // the indexes are submitted there so the global worker budget bounds all
 // experiments together.
 func forEach(opt Options, n int, fn func(i int) error) error {
+	ctx := opt.ctx()
 	if opt.pool != nil {
-		return opt.pool.forEach(n, fn)
+		return opt.pool.forEach(ctx, n, fn)
 	}
 	w := min(opt.workers(), n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("experiments: canceled before data point %d: %w", i, err)
+			}
+			if err := callSafely(fn, i); err != nil {
 				return err
 			}
 		}
@@ -64,7 +76,12 @@ func forEach(opt Options, n int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("experiments: canceled before data point %d: %w", i, err)
+					failed.Store(true)
+					return
+				}
+				if err := callSafely(fn, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
@@ -82,7 +99,9 @@ func forEach(opt Options, n int, fn func(i int) error) error {
 }
 
 // callSafely invokes one data-point function, converting a panic into an
-// error.
+// error. Every engine path routes through it, so a panicking point in a
+// sequential run or a private pool surfaces exactly like one on the
+// shared pool: as that point's error, never a process crash.
 func callSafely(fn func(i int) error, i int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -124,10 +143,10 @@ func (p *sharedPool) close() {
 }
 
 // forEach submits n point jobs and waits for them. Error semantics match
-// the private-pool forEach: after the first failure remaining points of
-// this experiment no-op (other experiments sharing the pool are
-// unaffected), and the lowest-indexed error is returned.
-func (p *sharedPool) forEach(n int, fn func(i int) error) error {
+// the private-pool forEach: after the first failure (or cancellation)
+// remaining points of this experiment no-op (other experiments sharing
+// the pool are unaffected), and the lowest-indexed error is returned.
+func (p *sharedPool) forEach(ctx context.Context, n int, fn func(i int) error) error {
 	var (
 		wg     sync.WaitGroup
 		failed atomic.Bool
@@ -139,6 +158,11 @@ func (p *sharedPool) forEach(n int, fn func(i int) error) error {
 		p.jobs <- func() {
 			defer wg.Done()
 			if failed.Load() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("experiments: canceled before data point %d: %w", i, err)
+				failed.Store(true)
 				return
 			}
 			// A panicking point must not take down the shared workers the

@@ -37,8 +37,7 @@ func SchedSweep(opt Options) (*Table, error) {
 	t := &Table{ID: "sched", Title: "CUTLASS GEMM IPC by warp scheduler policy",
 		Columns: cols}
 
-	cells := make([]float64, len(sizes)*len(pols))
-	err := forEach(opt, len(cells), func(i int) error {
+	cells, perr, err := runPoints(opt, "sched", len(sizes)*len(pols), func(i int) (float64, error) {
 		n := sizes[i/len(pols)]
 		cfg := base
 		cfg.Scheduler = pols[i%len(pols)]
@@ -48,14 +47,13 @@ func SchedSweep(opt Options) (*Table, error) {
 			Precision: kernels.TensorMixed, M: n, N: n, K: k,
 		})
 		if err != nil {
-			return err
+			return 0, err
 		}
-		st, err := launchOn(cfg, l, gemmElems(wmma.F32), gemmDims(n, n, k), cfg.NumSMs*8, false)
+		st, err := opt.launchOn(cfg, l, gemmElems(wmma.F32), gemmDims(n, n, k), cfg.NumSMs*8, false)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		cells[i] = st.IPC()
-		return nil
+		return st.IPC(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -63,10 +61,14 @@ func SchedSweep(opt Options) (*Table, error) {
 	for si, n := range sizes {
 		row := []string{fmtI(uint64(n))}
 		for pi := range pols {
-			row = append(row, fmtF(cells[si*len(pols)+pi]))
+			if i := si*len(pols) + pi; pointOK(perr, i) {
+				row = append(row, fmtF(cells[i]))
+			} else {
+				row = append(row, errMark)
+			}
 		}
 		t.AddRow(row...)
 	}
 	t.Note("gto (greedy-then-oldest) is the hardware default; twolevel keeps %d warps per sub-core active", base.TwoLevelActive)
-	return t, nil
+	return t, pointFailures(t, "sched", perr)
 }

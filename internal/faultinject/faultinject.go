@@ -1,0 +1,253 @@
+// Package faultinject deterministically injects faults at data-point
+// granularity into the experiment engine, so the fault-tolerance layer
+// (per-point isolation, bounded retry, the cycle-budget watchdog and
+// checkpoint/resume) is proven by tests rather than assumed.
+//
+// A Plan is parsed from a compact spec and is immutable afterwards, so
+// concurrent pool workers can consult it without locking. Every
+// decision is a pure function of (experiment ID, point index, attempt,
+// plan seed): there is no global math/rand and no wall clock, so a
+// faulty run is exactly reproducible — the property the resume
+// byte-equivalence tests depend on.
+//
+// Spec grammar (comma-separated clauses):
+//
+//	kind@exp:index[*count][~permille]
+//
+//	kind     panic | hang | transient | kill
+//	exp      experiment ID, or * for every experiment
+//	index    data-point index, or * for every point
+//	*count   transient only: number of failing attempts before the
+//	         point succeeds (default 1) — the retry seam's test dial
+//	~permille sample the point deterministically with probability
+//	         permille/1000, seeded by hash(seed, exp, index)
+//
+// Examples:
+//
+//	panic@fig17:3                 point 3 of fig17 panics
+//	transient@fig14a:1*2          point 1 fails its first two attempts
+//	hang@sched:0                  point 0 simulates an infinite kernel
+//	kill@fig12c:5                 the run is canceled at point 5's start
+//	transient@*:*~250             every point fails once with p=0.25
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Action is the fault injected at one data point.
+type Action int
+
+const (
+	// None leaves the point alone.
+	None Action = iota
+	// Panic makes the point panic, proving per-point panic isolation.
+	Panic
+	// Hang substitutes an infinite-loop kernel for the point's
+	// simulation, proving the cycle-budget watchdog reaps it.
+	Hang
+	// Transient fails the point with a retryable error for the clause's
+	// first count attempts, proving the bounded-retry path.
+	Transient
+	// Kill cancels the whole run at the point boundary — the in-process
+	// stand-in for SIGKILL that the resume-equivalence tests sweep
+	// across every boundary of a grid.
+	Kill
+)
+
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Hang:
+		return "hang"
+	case Transient:
+		return "transient"
+	case Kill:
+		return "kill"
+	}
+	return fmt.Sprintf("faultinject.Action(%d)", int(a))
+}
+
+// clause is one parsed spec entry.
+type clause struct {
+	kind     Action
+	count    int   // Transient: failing attempts before success
+	permille int64 // 0 = always; else deterministic sampling threshold
+}
+
+// Plan is an immutable fault schedule plus the one callback the harness
+// wires in: Kill, invoked when a kill point fires (the cmd/experiments
+// harness and the tests point it at the run context's cancel func).
+type Plan struct {
+	// Kill is called when a Kill action fires. Nil-safe; set it before
+	// the run starts — the Plan itself is never mutated afterwards.
+	Kill func()
+	// Seed keys the deterministic ~permille sampling. Set it before the
+	// run starts; zero is a valid seed.
+	Seed uint64
+
+	clauses map[string]clause // keyed "exp:index", with * wildcards
+}
+
+// Parse builds a Plan from the spec grammar above. An empty spec yields
+// a nil Plan, on which At always answers None.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{clauses: make(map[string]clause)}
+	for _, part := range strings.Split(spec, ",") {
+		kindStr, rest, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: clause %q lacks kind@target", part)
+		}
+		var c clause
+		switch kindStr {
+		case "panic":
+			c.kind = Panic
+		case "hang":
+			c.kind = Hang
+		case "transient":
+			c.kind = Transient
+		case "kill":
+			c.kind = Kill
+		default:
+			return nil, fmt.Errorf("faultinject: unknown fault kind %q (want panic|hang|transient|kill)", kindStr)
+		}
+		if rest, c.permille, ok = cutSuffixInt(rest, "~"); !ok {
+			return nil, fmt.Errorf("faultinject: clause %q has a malformed ~permille", part)
+		}
+		if c.permille < 0 || c.permille > 1000 {
+			return nil, fmt.Errorf("faultinject: clause %q permille out of range 0..1000", part)
+		}
+		var count int64
+		if rest, count, ok = cutSuffixInt(rest, "*"); !ok {
+			return nil, fmt.Errorf("faultinject: clause %q has a malformed *count", part)
+		}
+		c.count = int(count)
+		if c.count == 0 {
+			c.count = 1
+		}
+		exp, index, ok := strings.Cut(rest, ":")
+		if !ok || exp == "" || index == "" {
+			return nil, fmt.Errorf("faultinject: clause %q lacks exp:index", part)
+		}
+		if index != "*" {
+			if _, err := strconv.Atoi(index); err != nil {
+				return nil, fmt.Errorf("faultinject: clause %q has a non-numeric index", part)
+			}
+		}
+		key := exp + ":" + index
+		if _, dup := p.clauses[key]; dup {
+			return nil, fmt.Errorf("faultinject: duplicate clause for %s", key)
+		}
+		p.clauses[key] = c
+	}
+	return p, nil
+}
+
+// cutSuffixInt splits "body<sep>digits" into (body, value). When the
+// separator is absent — or what follows the last one is not a number,
+// as when the * separator is really a trailing *-wildcard index — s is
+// returned untouched and the malformed text is left for the stricter
+// exp:index parse to reject. Negative values report false.
+func cutSuffixInt(s, sep string) (string, int64, bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, 0, true
+	}
+	v, err := strconv.ParseInt(s[i+len(sep):], 10, 32)
+	if err != nil {
+		return s, 0, true
+	}
+	if v < 0 {
+		return s, 0, false
+	}
+	return s[:i], v, true
+}
+
+// At answers the fault for attempt number attempt (0-based) of the data
+// point (exp, index). Nil-safe; pure apart from the receiver's
+// immutable state, so concurrent workers need no lock.
+func (p *Plan) At(exp string, index, attempt int) Action {
+	if p == nil || len(p.clauses) == 0 {
+		return None
+	}
+	idx := strconv.Itoa(index)
+	c, ok := p.clauses[exp+":"+idx]
+	if !ok {
+		c, ok = p.clauses[exp+":*"]
+	}
+	if !ok {
+		c, ok = p.clauses["*:"+idx]
+	}
+	if !ok {
+		c, ok = p.clauses["*:*"]
+	}
+	if !ok {
+		return None
+	}
+	if c.permille > 0 && int64(pointHash(p.Seed, exp, index)%1000) >= c.permille {
+		return None
+	}
+	if c.kind == Transient && attempt >= c.count {
+		return None
+	}
+	return c.kind
+}
+
+// kill invokes the harness's Kill callback, if any.
+func (p *Plan) InvokeKill() {
+	if p != nil && p.Kill != nil {
+		p.Kill()
+	}
+}
+
+// pointHash is FNV-1a over (seed, exp, index): the deterministic
+// per-point randomness source for ~permille sampling. No global
+// math/rand is involved, so a sampled plan replays identically.
+func pointHash(seed uint64, exp string, index int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(seed >> (8 * i)))
+	}
+	for i := 0; i < len(exp); i++ {
+		mix(exp[i])
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(index) >> (8 * i)))
+	}
+	return h
+}
+
+// TransientError is the retryable error class the engine's bounded
+// retry recognizes (via the Transient() bool interface) — both the
+// injected kind and the seam real transient failures (a lost shard, a
+// flaky remote worker) will use.
+type TransientError struct {
+	// Attempt is the 0-based attempt that failed.
+	Attempt int
+	// Msg describes the failure.
+	Msg string
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("transient fault (attempt %d): %s", e.Attempt, e.Msg)
+}
+
+// Transient marks the error as safe to retry.
+func (e *TransientError) Transient() bool { return true }

@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseRejectsMalformedSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"panic",                     // no target
+		"explode@fig9:0",            // unknown kind
+		"panic@fig9",                // no index
+		"panic@:0",                  // empty exp
+		"panic@fig9:x",              // non-numeric index
+		"transient@fig9:0*x",        // malformed count
+		"transient@fig9:0~x",        // malformed permille
+		"transient@fig9:0~1001",     // permille out of range
+		"panic@fig9:0,panic@fig9:0", // duplicate clause
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseEmptyYieldsNilPlan(t *testing.T) {
+	for _, spec := range []string{"", "   "} {
+		p, err := Parse(spec)
+		if err != nil || p != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+	// A nil plan answers None everywhere and a nil kill is a no-op.
+	var p *Plan
+	if a := p.At("fig9", 0, 0); a != None {
+		t.Fatalf("nil plan At = %v, want None", a)
+	}
+	p.InvokeKill()
+}
+
+func TestAtMatchesExactAndWildcardTargets(t *testing.T) {
+	p, err := Parse("panic@fig17:3,hang@sched:*,kill@*:2,transient@*:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		exp   string
+		index int
+		want  Action
+	}{
+		{"fig17", 3, Panic},     // exact
+		{"sched", 9, Hang},      // exp wildcard index
+		{"fig17", 2, Kill},      // index-only wildcard
+		{"fig17", 0, Transient}, // full wildcard fallback
+		{"sched", 2, Hang},      // exp:* beats *:index
+	}
+	for _, c := range cases {
+		if got := p.At(c.exp, c.index, 0); got != c.want {
+			t.Errorf("At(%s, %d) = %v, want %v", c.exp, c.index, got, c.want)
+		}
+	}
+}
+
+// A transient clause fails exactly count attempts, then the point runs.
+func TestTransientCountBudget(t *testing.T) {
+	p, err := Parse("transient@fig14a:1*2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt, want := range []Action{Transient, Transient, None, None} {
+		if got := p.At("fig14a", 1, attempt); got != want {
+			t.Errorf("At(fig14a, 1, attempt=%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	if got := p.At("fig14a", 0, 0); got != None {
+		t.Errorf("At(fig14a, 0) = %v, want None (different point)", got)
+	}
+}
+
+// ~permille sampling is a pure function of (seed, exp, index): the same
+// plan answers identically across calls, and the sampled subset is
+// neither empty nor everything at p=0.5 over enough points.
+func TestPermilleSamplingDeterministic(t *testing.T) {
+	parse := func(seed uint64) *Plan {
+		p, err := Parse("transient@*:*~500")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Seed = seed
+		return p
+	}
+	a, b := parse(7), parse(7)
+	hit := 0
+	for i := 0; i < 200; i++ {
+		av, bv := a.At("fig14a", i, 0), b.At("fig14a", i, 0)
+		if av != bv {
+			t.Fatalf("sampling not deterministic at point %d: %v vs %v", i, av, bv)
+		}
+		if av == Transient {
+			hit++
+		}
+	}
+	if hit == 0 || hit == 200 {
+		t.Fatalf("p=0.5 sampling hit %d of 200 points, want a proper subset", hit)
+	}
+	// A different seed selects a different subset (overwhelmingly likely
+	// over 200 points).
+	c := parse(8)
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.At("fig14a", i, 0) != c.At("fig14a", i, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 sampled identical subsets")
+	}
+}
+
+func TestTransientErrorIsTyped(t *testing.T) {
+	err := error(&TransientError{Attempt: 1, Msg: "injected"})
+	var te interface{ Transient() bool }
+	if !errors.As(err, &te) || !te.Transient() {
+		t.Fatalf("TransientError does not satisfy the Transient() contract: %v", err)
+	}
+}
+
+func TestKillInvokesCallback(t *testing.T) {
+	p, err := Parse("kill@fig9:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	p.Kill = func() { fired++ }
+	if got := p.At("fig9", 0, 0); got != Kill {
+		t.Fatalf("At = %v, want Kill", got)
+	}
+	p.InvokeKill()
+	if fired != 1 {
+		t.Fatalf("kill callback fired %d times, want 1", fired)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for a, want := range map[Action]string{
+		None: "none", Panic: "panic", Hang: "hang",
+		Transient: "transient", Kill: "kill", Action(99): "faultinject.Action(99)",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("Action(%d).String() = %q, want %q", int(a), got, want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package gpu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -22,7 +24,21 @@ type LaunchSpec struct {
 	MaxCTAs int
 	// Trace enables per-instruction latency tracing for the wmma ops.
 	Trace bool
+	// MaxCycles caps the simulated cycle count (0 = the defaultMaxCycles
+	// backstop). It is the watchdog that reaps a malformed or injected
+	// infinite-loop kernel with an ErrCycleBudget error instead of
+	// letting it occupy a shared pool worker forever.
+	MaxCycles uint64
+	// Ctx, when non-nil, is polled periodically by the event loop so a
+	// long simulation can be canceled mid-run (SIGINT drain, fault-
+	// injected kills). A canceled run returns an error wrapping
+	// Ctx.Err(), so errors.Is(err, context.Canceled) identifies it.
+	Ctx context.Context
 }
+
+// ErrCycleBudget marks a simulation reaped by the LaunchSpec.MaxCycles
+// watchdog (or the defaultMaxCycles backstop). Match with errors.Is.
+var ErrCycleBudget = errors.New("cycle budget exceeded")
 
 // Trace holds sampled per-dynamic-instruction latencies (issue to
 // writeback), the quantity the paper's clock-bracketing microbenchmarks
@@ -173,8 +189,22 @@ func (s *Simulator) Run(spec LaunchSpec) (*Stats, error) {
 		}
 	}
 
-	const maxCycles = 4_000_000_000
+	const defaultMaxCycles = 4_000_000_000
+	budget := uint64(defaultMaxCycles)
+	if spec.MaxCycles > 0 {
+		budget = spec.MaxCycles
+	}
+	var iters uint64
 	for {
+		// Cancellation poll, off the per-iteration fast path: checking
+		// every 1024 loop passes keeps ctx.Err()'s mutex out of the hot
+		// loop while bounding cancellation latency to microseconds.
+		iters++
+		if spec.Ctx != nil && iters&1023 == 0 {
+			if err := spec.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("gpu: canceled at cycle %d: %w", s.cycle, err)
+			}
+		}
 		issuedAny := false
 		addedAny := false
 		liveAny := false
@@ -228,8 +258,8 @@ func (s *Simulator) Run(spec LaunchSpec) (*Stats, error) {
 				s.cycle = minWake
 			}
 		}
-		if s.cycle > maxCycles {
-			return nil, fmt.Errorf("gpu: exceeded %d cycles", uint64(maxCycles))
+		if s.cycle > budget {
+			return nil, fmt.Errorf("gpu: %w after %d cycles", ErrCycleBudget, budget)
 		}
 	}
 

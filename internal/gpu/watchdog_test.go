@@ -1,0 +1,93 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ptx"
+)
+
+// spinKernel is an infinite loop: one warp branching to itself forever —
+// the malformed workload the cycle-budget watchdog exists to reap.
+func spinKernel() *ptx.Kernel {
+	b := ptx.NewBuilder("spin")
+	b.Label("spin")
+	b.Bra("spin")
+	b.Exit()
+	return b.MustBuild()
+}
+
+func spinSpec() LaunchSpec {
+	return LaunchSpec{
+		Kernel: spinKernel(),
+		Grid:   ptx.D1(1),
+		Block:  ptx.D1(32),
+		Global: ptx.NewFlatMemory(64),
+	}
+}
+
+// An infinite-loop kernel must fail with ErrCycleBudget once it exceeds
+// MaxCycles, instead of spinning until the 4e9-cycle backstop.
+func TestCycleBudgetReapsInfiniteLoop(t *testing.T) {
+	cfg := TitanV()
+	cfg.NumSMs = 1
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := spinSpec()
+	spec.MaxCycles = 10_000
+	_, err = sim.Run(spec)
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("Run(spin, MaxCycles=10k) = %v, want ErrCycleBudget", err)
+	}
+}
+
+// A healthy kernel under a generous budget is unaffected: same stats as
+// an unbounded run.
+func TestCycleBudgetGenerousBudgetUnaffected(t *testing.T) {
+	run := func(maxCycles uint64) *Stats {
+		sim, err := New(smallTitanV())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 1024
+		mem := ptx.NewFlatMemory(3 * 4 * n)
+		st, err := sim.Run(LaunchSpec{
+			Kernel:    vecAddKernel(),
+			Grid:      ptx.D1(n / 128),
+			Block:     ptx.D1(128),
+			Args:      []uint64{0, 4 * n, 8 * n},
+			Global:    mem,
+			MaxCycles: maxCycles,
+		})
+		if err != nil {
+			t.Fatalf("Run(vecadd, MaxCycles=%d) = %v", maxCycles, err)
+		}
+		return st
+	}
+	bounded, unbounded := run(1_000_000), run(0)
+	if bounded.Cycles != unbounded.Cycles {
+		t.Fatalf("cycle budget changed timing: %d vs %d cycles", bounded.Cycles, unbounded.Cycles)
+	}
+}
+
+// A canceled context aborts the event loop promptly, even for a kernel
+// that would otherwise run forever, and surfaces the cause.
+func TestContextCancelAbortsRun(t *testing.T) {
+	cfg := TitanV()
+	cfg.NumSMs = 1
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before launch: the poll must catch it early
+	spec := spinSpec()
+	spec.Ctx = ctx
+	_, err = sim.Run(spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run(spin, canceled ctx) = %v, want context.Canceled", err)
+	}
+}
