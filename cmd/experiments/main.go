@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -142,6 +143,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (hot-spot hunts: go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
+		// -h/-help surfaces as flag.ErrHelp: a successful usage request,
+		// not a usage error — it used to exit 2 like a typo.
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
 		return exitUsage
 	}
 
@@ -154,7 +160,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 	if *legacyFrag {
-		ptx.LegacyFragmentPath(true)
+		// Swap-and-restore, not a bare set: run() is re-entered
+		// in-process by the CLI tests, and leaking the process-global
+		// knob across invocations is exactly what the Swap discipline
+		// (PR 6) exists to prevent.
+		defer ptx.SwapLegacyFragmentPath(true)()
 	}
 
 	if *cpuprofile != "" {

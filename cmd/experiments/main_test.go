@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/ptx"
 )
 
 // The -sms, -workers and -tlactive flags must be rejected at the flag
@@ -49,6 +51,34 @@ func execRun(t *testing.T, args ...string) (int, string, string) {
 	var stdout, stderr bytes.Buffer
 	code := run(context.Background(), args, &stdout, &stderr)
 	return code, stdout.String(), stderr.String()
+}
+
+// -h/-help is a successful usage request: flag.ErrHelp must map to
+// exit 0 with the usage text, not to the usage-error exit 2.
+func TestExitOKOnHelp(t *testing.T) {
+	for _, h := range []string{"-h", "-help"} {
+		code, _, serr := execRun(t, h)
+		if code != exitOK {
+			t.Errorf("%s = %d, want %d", h, code, exitOK)
+		}
+		if !strings.Contains(serr, "-run") {
+			t.Errorf("%s did not print usage: %q", h, serr)
+		}
+	}
+}
+
+// Regression: -legacyfrag must restore the process-global fragment
+// knob when run returns. A bare set used to leak it across in-process
+// invocations — the exact leak the Swap discipline exists to prevent.
+func TestLegacyFragRestoredOnReturn(t *testing.T) {
+	t.Cleanup(ptx.SwapLegacyFragmentPath(false))
+	code, _, _ := execRun(t, "-run", "fig7", "-legacyfrag")
+	if code != exitOK {
+		t.Fatalf("-run fig7 -legacyfrag = %d, want %d", code, exitOK)
+	}
+	if ptx.LegacyFragmentPathEnabled() {
+		t.Error("-legacyfrag leaked the fragment-path knob past run()")
+	}
 }
 
 func TestExitOKAndListing(t *testing.T) {

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -27,30 +29,57 @@ import (
 	"repro/internal/wmma"
 )
 
+// Exit codes: 0 success (including -h), 1 simulation failures, 2 flag
+// errors — the same contract as cmd/experiments.
+const (
+	exitOK     = 0
+	exitFailed = 1
+	exitUsage  = 2
+)
+
 func main() {
-	kernel := flag.String("kernel", "wmma", "wmma | wmma-naive | sgemm | hgemm | cutlass | maxperf")
-	m := flag.Int("m", 256, "rows of A and D")
-	n := flag.Int("n", 256, "columns of B and D")
-	k := flag.Int("k", 256, "inner dimension")
-	sms := flag.Int("sms", 0, "simulated SM count (default: full 80)")
-	sched := flag.String("sched", "gto", "warp scheduler: gto | lrr | twolevel")
-	flag.StringVar(sched, "scheduler", "gto", "alias for -sched")
-	policy := flag.String("policy", "b64x64_w32x32", "cutlass tile policy")
-	fp16acc := flag.Bool("fp16acc", false, "accumulate in FP16 instead of FP32")
-	verify := flag.Bool("verify", true, "check the result against the float64 reference")
-	sizes := flag.String("sizes", "", "comma-separated square sizes to sweep (m = n = k); each point runs on its own simulator (timing only, -verify is ignored)")
-	workers := flag.Int("workers", 0, "worker pool size for -sizes sweeps (0 = one per CPU)")
-	tlActive := flag.Int("tlactive", 0, "two-level scheduler active-subset size per sub-core (0 = config default; other policies ignore it)")
-	maxCycles := flag.Uint64("maxcycles", 0, "simulated-cycle budget per launch; a runaway kernel fails with a cycle-budget error instead of spinning (0 = generous backstop)")
-	legacyFrag := flag.Bool("legacyfrag", false, "route wmma fragments through the per-element legacy path (debug/ablation; results are bit-identical, just slower)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main's body with a normal return path, so the -legacyfrag
+// restore runs before exit and CLI tests can pin the exit-code
+// contract in-process (tables still print to the process stdout).
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kernel := fs.String("kernel", "wmma", "wmma | wmma-naive | sgemm | hgemm | cutlass | maxperf")
+	m := fs.Int("m", 256, "rows of A and D")
+	n := fs.Int("n", 256, "columns of B and D")
+	k := fs.Int("k", 256, "inner dimension")
+	sms := fs.Int("sms", 0, "simulated SM count (default: full 80)")
+	sched := fs.String("sched", "gto", "warp scheduler: gto | lrr | twolevel")
+	fs.StringVar(sched, "scheduler", "gto", "alias for -sched")
+	policy := fs.String("policy", "b64x64_w32x32", "cutlass tile policy")
+	fp16acc := fs.Bool("fp16acc", false, "accumulate in FP16 instead of FP32")
+	verify := fs.Bool("verify", true, "check the result against the float64 reference")
+	sizes := fs.String("sizes", "", "comma-separated square sizes to sweep (m = n = k); each point runs on its own simulator (timing only, -verify is ignored)")
+	workers := fs.Int("workers", 0, "worker pool size for -sizes sweeps (0 = one per CPU)")
+	tlActive := fs.Int("tlactive", 0, "two-level scheduler active-subset size per sub-core (0 = config default; other policies ignore it)")
+	maxCycles := fs.Uint64("maxcycles", 0, "simulated-cycle budget per launch; a runaway kernel fails with a cycle-budget error instead of spinning (0 = generous backstop)")
+	legacyFrag := fs.Bool("legacyfrag", false, "route wmma fragments through the per-element legacy path (debug/ablation; results are bit-identical, just slower)")
+	if err := fs.Parse(args); err != nil {
+		// -h/-help surfaces as flag.ErrHelp: a successful usage request,
+		// not a usage error — it used to exit 2 like a typo.
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
 
 	if err := validateFlags(*m, *n, *k, *sms, *workers, *tlActive, *sched); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return exitUsage
 	}
 	if *legacyFrag {
-		ptx.LegacyFragmentPath(true)
+		// Swap-and-restore, not a bare set: leaking the process-global
+		// knob past run() is the leak PR 6's Swap discipline exists to
+		// prevent.
+		defer ptx.SwapLegacyFragmentPath(true)()
 	}
 
 	cfg := gpu.TitanV()
@@ -64,10 +93,10 @@ func main() {
 
 	if *sizes != "" {
 		if err := runSweep(cfg, *kernel, *policy, *fp16acc, *sizes, *workers, *maxCycles); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailed
 		}
-		return
+		return exitOK
 	}
 
 	prec := kernels.TensorMixed
@@ -79,16 +108,16 @@ func main() {
 	l, ab, abcd, err := buildLaunch(cfg, *kernel, *policy, prec, cd, *m, *n, *k)
 	cd = abcd
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailed
 	}
 
 	dev := cuda.MustNewDevice(cfg)
 	dev.MaxCycles = *maxCycles
-	var args []uint64
+	var args64 []uint64
 	var want *tensor.Matrix
 	if *kernel == "maxperf" {
-		args = []uint64{dev.Mem.Malloc(2048)}
+		args64 = []uint64{dev.Mem.Malloc(2048)}
 		*verify = false
 	} else {
 		a := tensor.New(*m, *k, tensor.RowMajor)
@@ -97,7 +126,7 @@ func main() {
 		fill(a, 1)
 		fill(b, 2)
 		fill(c, 3)
-		args = []uint64{
+		args64 = []uint64{
 			dev.UploadMatrix(a, ab),
 			dev.UploadMatrix(b, ab),
 			dev.UploadMatrix(c, cd),
@@ -108,10 +137,10 @@ func main() {
 		}
 	}
 
-	st, err := dev.Launch(l.Kernel, l.Grid, l.Block, args...)
+	st, err := dev.Launch(l.Kernel, l.Grid, l.Block, args64...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailed
 	}
 
 	fmt.Printf("kernel      : %s\n", l.Kernel.Name)
@@ -119,9 +148,10 @@ func main() {
 	fmt.Printf("grid x block: %v x %v\n", l.Grid, l.Block)
 	reportStats(st, cfg, l.FLOPs)
 	if *verify && want != nil {
-		got := dev.ReadMatrix(args[3], *m, *n, tensor.RowMajor, cd)
+		got := dev.ReadMatrix(args64[3], *m, *n, tensor.RowMajor, cd)
 		fmt.Printf("max |error| : %g vs float64 reference\n", tensor.MaxAbsDiff(got, want))
 	}
+	return exitOK
 }
 
 // reportStats prints the post-run statistics block. It is the

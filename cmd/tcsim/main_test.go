@@ -1,6 +1,54 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ptx"
+)
+
+// The exit-code contract, pinned in-process: -h/-help is a successful
+// usage request (exit 0 with usage text — flag.ErrHelp used to exit 2
+// like a typo), bad flags exit 2, and a fast runtime failure exits 1.
+func TestRunExitCodes(t *testing.T) {
+	for _, h := range []string{"-h", "-help"} {
+		var stderr bytes.Buffer
+		if code := run([]string{h}, &stderr); code != exitOK {
+			t.Errorf("%s = %d, want %d", h, code, exitOK)
+		}
+		if !strings.Contains(stderr.String(), "-kernel") {
+			t.Errorf("%s did not print usage: %q", h, stderr.String())
+		}
+	}
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"-m", "-1"},
+		{"-sms", "bogus"},
+		{"-sched", "fifo"},
+	} {
+		if code := run(args, &bytes.Buffer{}); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+	if code := run([]string{"-sizes", "bogus"}, &bytes.Buffer{}); code != exitFailed {
+		t.Errorf("bad -sizes entry = %d, want %d", code, exitFailed)
+	}
+}
+
+// Regression: -legacyfrag must restore the process-global fragment
+// knob when run returns instead of leaking it across in-process
+// invocations. The bad -sizes entry exits after the knob is set but
+// before any simulation, keeping the test instant.
+func TestLegacyFragRestoredOnReturn(t *testing.T) {
+	t.Cleanup(ptx.SwapLegacyFragmentPath(false))
+	if code := run([]string{"-legacyfrag", "-sizes", "bogus"}, &bytes.Buffer{}); code != exitFailed {
+		t.Fatalf("run = %d, want %d", code, exitFailed)
+	}
+	if ptx.LegacyFragmentPathEnabled() {
+		t.Error("-legacyfrag leaked the fragment-path knob past run()")
+	}
+}
 
 // Negative or absurd dimension/SM/worker flags must be rejected at the
 // flag boundary instead of panicking inside the kernel generators or

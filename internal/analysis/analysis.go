@@ -172,6 +172,10 @@ var simulatorPackages = map[string]bool{
 	"repro/internal/wmma":        true,
 	"repro/internal/stats":       true,
 	"repro/internal/experiments": true,
+	// The serving cache hands stored bytes straight back to clients, so
+	// it carries the same determinism burden as the engine that
+	// produced them.
+	"repro/internal/servecache": true,
 }
 
 // InSimulatorScope reports whether the determinism/statcomplete

@@ -41,6 +41,21 @@ func PointKey(expID string, index int, opt Options) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// ExperimentKey returns the deterministic identity of one experiment's
+// whole table under the given options: the content address the serving
+// cache (internal/servecache, cmd/simd) stores rendered tables under.
+// It is the PointKey derivation applied to the reserved whole-table
+// index -1 (real data points are numbered from 0), so the two key
+// spaces can never collide and a cache entry inherits PointKey's
+// invalidation story — bumping pointKeyVersion invalidates both.
+// Like PointKey it hashes only the table-affecting knobs: the
+// fault-tolerance options (MaxCycles, Retries, KeepGoing, …) bound how
+// a run can fail, never what a *successful* table contains, and only
+// successes are cached.
+func ExperimentKey(expID string, opt Options) string {
+	return PointKey(expID, -1, opt)
+}
+
 // journalRecord is one JSONL line of the checkpoint file.
 type journalRecord struct {
 	Key     string          `json:"key"`
@@ -68,12 +83,31 @@ type Journal struct {
 // existing records are loaded for replay and new records append after
 // them; otherwise the file is truncated and the run journals from
 // scratch.
+//
+// The file is held under an exclusive advisory lock (flock) for the
+// journal's lifetime: two processes pointing -checkpoint at the same
+// file used to interleave their records silently, corrupting both
+// runs' resume state. The second opener now fails fast with a clear
+// error instead. The lock is advisory — it serializes journal users,
+// not arbitrary writers — and releases automatically when the journal
+// (or the process) closes.
 func OpenJournal(path string, resume bool) (*Journal, error) {
+	// Open before truncating: the truncation must only happen once the
+	// lock is held, or a fresh run could clobber a live journal it then
+	// fails to lock.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint %s: %w", path, err)
+	}
+	if err := lockJournal(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: checkpoint %s: %w", path, err)
+	}
 	seen := make(map[string]json.RawMessage)
-	flags := os.O_CREATE | os.O_RDWR | os.O_APPEND
 	if resume {
 		data, err := os.ReadFile(path)
 		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			f.Close()
 			return nil, fmt.Errorf("experiments: resume checkpoint %s: %w", path, err)
 		}
 		for _, line := range bytes.Split(data, []byte("\n")) {
@@ -88,11 +122,8 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 			}
 			seen[rec.Key] = rec.Payload
 		}
-	} else {
-		flags |= os.O_TRUNC
-	}
-	f, err := os.OpenFile(path, flags, 0o644)
-	if err != nil {
+	} else if err := f.Truncate(0); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("experiments: checkpoint %s: %w", path, err)
 	}
 	if resume {

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package experiments
+
+import "os"
+
+// lockJournal is a no-op where flock-style advisory locks are
+// unavailable: the journal still works, it just cannot detect a second
+// run sharing the same checkpoint file. Every supported CI and serving
+// platform is unix; this stub only keeps exotic builds compiling.
+func lockJournal(*os.File) error { return nil }

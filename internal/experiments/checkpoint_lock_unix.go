@@ -1,0 +1,32 @@
+//go:build unix
+
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockJournal takes an exclusive, non-blocking advisory lock on the
+// journal file. A second process (or a second Journal in this process)
+// pointing at the same path fails fast instead of silently
+// interleaving its records with the holder's. The lock belongs to the
+// open file description, so closing the file — or the process dying —
+// releases it; a crashed run never wedges its checkpoint.
+func lockJournal(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, syscall.EINTR) {
+			continue
+		}
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return fmt.Errorf("journal is locked by another run; two sweeps sharing one -checkpoint file would interleave records")
+		}
+		return fmt.Errorf("lock journal: %w", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -185,5 +186,63 @@ func TestJournalConcurrentRecord(t *testing.T) {
 	defer j2.Close()
 	if points, _ := j2.Stats(); points != workers*per {
 		t.Fatalf("resume found %d records, want %d", points, workers*per)
+	}
+}
+
+// Two runs sharing one checkpoint file used to interleave their
+// journals silently; the advisory lock makes the second opener fail
+// fast with a clear error, and closing the holder releases the lock.
+func TestJournalLockExcludesSecondOpener(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("k1", "e", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, resume := range []bool{false, true} {
+		if _, err := OpenJournal(path, resume); err == nil {
+			t.Fatalf("second OpenJournal(resume=%t) on a locked journal succeeded", resume)
+		} else if !strings.Contains(err.Error(), "locked") {
+			t.Errorf("second OpenJournal(resume=%t) error does not name the lock: %v", resume, err)
+		}
+	}
+	// The failed resume attempt must not have clobbered the journal.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Lookup("k1"); !ok {
+		t.Fatal("record lost across a rejected second opener")
+	}
+}
+
+// ExperimentKey is the whole-table content address: it must share
+// PointKey's knob sensitivity (the serving cache serves stale bytes
+// otherwise) while never colliding with any real point's key.
+func TestExperimentKeyIdentity(t *testing.T) {
+	base := Options{Quick: true}
+	k := ExperimentKey("fig12c", base)
+	if k == ExperimentKey("fig14a", base) {
+		t.Error("ExperimentKey ignores the experiment ID")
+	}
+	if k == ExperimentKey("fig12c", Options{}) {
+		t.Error("ExperimentKey ignores Quick")
+	}
+	if k == ExperimentKey("fig12c", Options{Quick: true, SMs: 16}) {
+		t.Error("ExperimentKey ignores SMs")
+	}
+	if k != ExperimentKey("fig12c", Options{Quick: true, Workers: 7, MaxCycles: 99, KeepGoing: true, Retries: 3}) {
+		t.Error("ExperimentKey is perturbed by non-table-affecting knobs")
+	}
+	for i := 0; i < 64; i++ {
+		if k == PointKey("fig12c", i, base) {
+			t.Fatalf("ExperimentKey collides with PointKey index %d", i)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/gpu"
@@ -121,6 +122,32 @@ func TestRetryDelaySchedule(t *testing.T) {
 	}
 	if got := (Options{}).retryDelay(0); got <= 0 {
 		t.Errorf("default retryDelay = %d, want a positive base", got)
+	}
+}
+
+// Regression: the doubling is clamped, never overflowed. A
+// programmatic Retries beyond the CLI's cap used to shift the base
+// past 63 bits, turning the backoff negative — time.Sleep treats that
+// as zero, so an exhausted-budget retry loop span instantly.
+func TestRetryDelayClamped(t *testing.T) {
+	for _, o := range []Options{{}, {retryBase: 4}, {retryBase: time.Hour}} {
+		prev := time.Duration(0)
+		for attempt := 0; attempt <= 200; attempt++ {
+			d := o.retryDelay(attempt)
+			if d <= 0 {
+				t.Fatalf("retryBase %d: retryDelay(%d) = %d, want positive (overflow)",
+					o.retryBase, attempt, d)
+			}
+			if d < prev {
+				t.Fatalf("retryBase %d: retryDelay(%d) = %d shrank below %d",
+					o.retryBase, attempt, d, prev)
+			}
+			prev = d
+		}
+		// Past the clamp the schedule is flat, still deterministic.
+		if a, b := o.retryDelay(150), o.retryDelay(200); a != b {
+			t.Errorf("retryBase %d: clamped schedule not flat: %d vs %d", o.retryBase, a, b)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 	"time"
 
@@ -93,7 +94,12 @@ func (o Options) retries() int {
 
 // retryDelay is the deterministic backoff schedule: base << attempt,
 // with no jitter — run-to-run reproducibility extends to the retry
-// path. The unexported base lets tests collapse the schedule.
+// path. The unexported base lets tests collapse the schedule. The
+// shift is clamped to the last exact doubling that fits in a
+// time.Duration: a programmatic Retries beyond the CLI's cap used to
+// shift the base past 63 bits and overflow into a negative — i.e.
+// instant — backoff, the opposite of backing off. Past the clamp the
+// schedule stays flat.
 func (o Options) retryDelay(attempt int) time.Duration {
 	base := o.retryBase
 	if base == 0 {
@@ -101,6 +107,10 @@ func (o Options) retryDelay(attempt int) time.Duration {
 	}
 	if base < 0 {
 		return 0
+	}
+	maxShift := bits.LeadingZeros64(uint64(base)) - 1
+	if attempt > maxShift {
+		attempt = maxShift
 	}
 	return base << uint(attempt)
 }

@@ -48,6 +48,11 @@ func SwapLegacyFragmentPath(on bool) (restore func()) {
 	return func() { legacyFragmentPath.Store(prev) }
 }
 
+// LegacyFragmentPathEnabled reports the knob's current setting. CLI
+// tests use it to pin that -legacyfrag restores the process-global on
+// return instead of leaking across in-process invocations.
+func LegacyFragmentPathEnabled() bool { return legacyFragmentPath.Load() }
+
 // fragPlan is the decoded form of one wmma.Mapping: per-slot lane
 // vectors of precomputed tile offsets, built once per static
 // instruction (decode time) and shared read-only by every warp — so

@@ -1,0 +1,136 @@
+// Package servecache is the serving layer's bounded, content-addressed
+// result cache. The simulator is deterministic end-to-end, so a
+// rendered experiment table is fully determined by its content address
+// (experiments.ExperimentKey: experiment ID + the table-affecting
+// Options knobs) — a repeated request can be served the byte-identical
+// cached table without re-simulating anything. Entries are immutable
+// byte slices shared read-only across requests, the same discipline
+// the simlint frozen analyzer pins for decoded-kernel programs; the
+// cache itself is mutex-guarded (guardedby-annotated) so any number of
+// request goroutines may hit it concurrently.
+package servecache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is the cache's counter snapshot, surfaced on cmd/simd's
+// /statsz endpoint (the //simlint:emitter contract: every counter
+// below must appear there, so none can be silently dropped).
+type Stats struct {
+	// Hits counts Get calls served from the cache — requests that cost
+	// zero simulation.
+	Hits int64
+	// Misses counts Get calls that found nothing.
+	Misses int64
+	// Evictions counts entries dropped to keep the cache within its
+	// byte budget.
+	Evictions int64
+	// Entries is the current entry count.
+	Entries int64
+	// Bytes is the current payload total; at most MaxBytes.
+	Bytes int64
+	// MaxBytes is the configured budget (0 = caching disabled).
+	MaxBytes int64
+}
+
+// Cache is a bounded content-addressed byte cache with LRU eviction.
+// The zero value is not usable; call New.
+type Cache struct {
+	mu sync.Mutex
+	//simlint:guardedby mu
+	entries map[string]*list.Element
+	// lru orders entries most-recently-used first; evictions pop the
+	// back.
+	//simlint:guardedby mu
+	lru *list.List
+	//simlint:guardedby mu
+	bytes int64
+	//simlint:guardedby mu
+	hits int64
+	//simlint:guardedby mu
+	misses int64
+	//simlint:guardedby mu
+	evictions int64
+
+	// maxBytes is immutable after New; 0 disables storage so a serving
+	// process without a cache budget still runs, it just always misses.
+	maxBytes int64
+}
+
+// entry is one cached payload; val is immutable once stored.
+type entry struct {
+	key string
+	val []byte
+}
+
+// New returns a cache bounded at maxBytes of payload (metadata
+// overhead is not counted). maxBytes <= 0 disables caching: every Get
+// misses and Put is a no-op, so callers need no nil checks.
+func New(maxBytes int64) *Cache {
+	c := &Cache{maxBytes: max(maxBytes, 0)}
+	c.mu.Lock()
+	c.entries = make(map[string]*list.Element)
+	c.lru = list.New()
+	c.mu.Unlock()
+	return c
+}
+
+// Get returns the payload stored under key. The returned slice is the
+// cache's own immutable copy, shared with every other requester —
+// callers must treat it as read-only.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores a copy of val under key and reports whether it was
+// cached. Payloads larger than the whole budget are rejected rather
+// than evicting everything else; storing under an existing key is a
+// no-op (content addressing: same key, same bytes — re-storing could
+// only churn the copy).
+func (c *Cache) Put(key string, val []byte) bool {
+	if c.maxBytes == 0 || int64(len(val)) > c.maxBytes {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return true
+	}
+	e := &entry{key: key, val: append([]byte(nil), val...)}
+	c.entries[key] = c.lru.PushFront(e)
+	c.bytes += int64(len(e.val))
+	for c.bytes > c.maxBytes {
+		back := c.lru.Back()
+		victim := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, victim.key)
+		c.bytes -= int64(len(victim.val))
+		c.evictions++
+	}
+	return true
+}
+
+// Stats returns a counter snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   int64(c.lru.Len()),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

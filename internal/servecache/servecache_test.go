@@ -1,0 +1,131 @@
+package servecache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutCounters(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	if !c.Put("a", []byte("table a")) {
+		t.Fatal("Put rejected a fitting payload")
+	}
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("table a")) {
+		t.Fatalf("Get(a) = %q, %t", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Entries != 1 || st.Bytes != 7 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry, 7 bytes", st)
+	}
+	if st.MaxBytes != 1<<20 {
+		t.Errorf("MaxBytes = %d, want %d", st.MaxBytes, 1<<20)
+	}
+}
+
+// The stored payload is the cache's own copy: mutating the caller's
+// buffer after Put must not reach readers — cached bytes are immutable
+// and shared across requests.
+func TestPutCopies(t *testing.T) {
+	c := New(1 << 20)
+	buf := []byte("original")
+	c.Put("k", buf)
+	copy(buf, "CLOBBER!")
+	got, _ := c.Get("k")
+	if !bytes.Equal(got, []byte("original")) {
+		t.Fatalf("cached payload aliased the caller's buffer: %q", got)
+	}
+}
+
+// Re-storing an existing key is a no-op: same content address, same
+// bytes by determinism.
+func TestPutDuplicateKey(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("k", []byte("first"))
+	if !c.Put("k", []byte("first")) {
+		t.Fatal("duplicate Put reported not cached")
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 5 {
+		t.Errorf("duplicate Put changed accounting: %+v", st)
+	}
+}
+
+// Eviction is LRU over the byte budget: the least-recently-used entry
+// goes first, a Get refreshes recency, and the counters record it.
+func TestLRUEviction(t *testing.T) {
+	c := New(30)
+	c.Put("a", make([]byte, 10))
+	c.Put("b", make([]byte, 10))
+	c.Put("c", make([]byte, 10))
+	c.Get("a") // refresh: b is now the eviction candidate
+	c.Put("d", make([]byte, 10))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; want it evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted; want b only", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != 30 {
+		t.Errorf("stats = %+v, want 1 eviction, 3 entries, 30 bytes", st)
+	}
+}
+
+// A payload larger than the whole budget is rejected outright instead
+// of flushing every other entry for a value that cannot fit.
+func TestOversizePayloadRejected(t *testing.T) {
+	c := New(10)
+	c.Put("small", make([]byte, 4))
+	if c.Put("huge", make([]byte, 11)) {
+		t.Fatal("oversize Put reported cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Error("oversize Put evicted the resident entry")
+	}
+}
+
+// MaxBytes 0 disables storage without disabling the API.
+func TestZeroBudgetDisables(t *testing.T) {
+	c := New(0)
+	if c.Put("k", nil) || c.Put("k", []byte("x")) {
+		t.Fatal("zero-budget cache accepted a payload")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("zero-budget cache hit")
+	}
+}
+
+// Request goroutines hammer one cache concurrently; run under -race
+// this pins the locking, and the byte budget must hold throughout.
+func TestConcurrentAccess(t *testing.T) {
+	const budget = 1 << 12
+	c := New(budget)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%32)
+				if val, ok := c.Get(key); ok {
+					if string(val) != key {
+						t.Errorf("Get(%s) = %q", key, val)
+					}
+					continue
+				}
+				c.Put(key, []byte(key))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > budget {
+		t.Errorf("bytes %d exceed budget %d", st.Bytes, budget)
+	}
+}
